@@ -1,0 +1,82 @@
+// Command erigen generates ERI shell-quartet block datasets with the
+// from-scratch McMurchie–Davidson integral engine, in the raw
+// little-endian float64 layout the pastri tool compresses.
+//
+// Usage:
+//
+//	erigen -mol benzene -config dd -blocks 1500 -out benzene_dd.f64
+//	erigen -list
+//
+// Molecules are the paper's benchmark systems (tri-alanine, benzene,
+// glutamine), packed into van-der-Waals clusters as described in
+// DESIGN.md.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/eri"
+)
+
+func main() {
+	var (
+		mol    = flag.String("mol", "benzene", "molecule: alanine|benzene|glutamine")
+		config = flag.String("config", "dd", "shell configuration: dd or ff")
+		blocks = flag.Int("blocks", dataset.DefaultBlocks, "number of sampled quartet blocks")
+		out    = flag.String("out", "", "output file (raw little-endian float64)")
+		list   = flag.Bool("list", false, "list available molecules and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range dataset.Names {
+			m, _ := dataset.PaperMolecule(name)
+			fmt.Printf("%-10s %4d atoms (%d heavy) as packed cluster %q\n",
+				name, len(m.Atoms), len(m.HeavyAtoms()), m.Name)
+		}
+		return
+	}
+	if err := run(*mol, *config, *blocks, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "erigen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(mol, config string, blocks int, out string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var l int
+	switch config {
+	case "dd":
+		l = 2
+	case "ff":
+		l = 3
+	default:
+		return fmt.Errorf("unknown config %q (want dd or ff)", config)
+	}
+	ds, err := dataset.Get(dataset.Spec{Molecule: mol, L: l, MaxBlocks: blocks})
+	if err != nil {
+		return err
+	}
+	if err := writeRaw(out, ds); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d blocks of %d×%d (%d MB) -> %s\n",
+		ds.Name, ds.Blocks, ds.NumSB, ds.SBSize, ds.SizeBytes()/1e6, out)
+	fmt.Printf("compress with: pastri -c -numsb %d -sbsize %d -eb 1e-10 -in %s -out %s.pstr\n",
+		ds.NumSB, ds.SBSize, out, out)
+	return nil
+}
+
+func writeRaw(path string, ds *eri.Dataset) error {
+	buf := make([]byte, len(ds.Data)*8)
+	for i, v := range ds.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

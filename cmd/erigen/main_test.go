@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateSmallDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates ERIs")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bz.f64")
+	if err := run("benzene", "dd", 10, out); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 10*1296*8 {
+		t.Fatalf("output size %d, want %d", fi.Size(), 10*1296*8)
+	}
+}
+
+func TestErigenValidation(t *testing.T) {
+	if err := run("benzene", "dd", 5, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("benzene", "pp", 5, "x"); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if err := run("unobtainium", "dd", 5, "x"); err == nil {
+		t.Error("unknown molecule accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command pastri compresses and decompresses files of float64 ERI
+// blocks with the PaSTRI algorithm.
+//
+// Usage:
+//
+//	pastri -c -numsb 36 -sbsize 36 -eb 1e-10 -in blocks.f64 -out blocks.pstr
+//	pastri -d -in blocks.pstr -out blocks.f64
+//	pastri -info -in blocks.pstr
+//
+// Input for -c is raw little-endian float64 data containing a whole
+// number of blocks (numsb × sbsize values each), e.g. a dump produced
+// by the erigen tool.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	pastri "repro"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress")
+		decompress = flag.Bool("d", false, "decompress")
+		info       = flag.Bool("info", false, "describe a compressed stream")
+		numSB      = flag.Int("numsb", 36, "sub-blocks per block (Na*Nb)")
+		sbSize     = flag.Int("sbsize", 36, "points per sub-block (Nc*Nd)")
+		eb         = flag.Float64("eb", 1e-10, "absolute error bound")
+		metric     = flag.String("metric", "ER", "scaling metric: ER|FR|AR|AAR|IS")
+		inPath     = flag.String("in", "", "input file")
+		outPath    = flag.String("out", "", "output file")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	flag.Parse()
+	if err := run(*compress, *decompress, *info, *numSB, *sbSize, *eb, *metric,
+		*inPath, *outPath, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "pastri: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(compress, decompress, info bool, numSB, sbSize int, eb float64,
+	metric, inPath, outPath string, workers int) error {
+	modes := 0
+	for _, m := range []bool{compress, decompress, info} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("pick exactly one of -c, -d, -info")
+	}
+	if inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	in, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case info:
+		si, err := pastri.Inspect(in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("blocks        : %d\n", si.NumBlocks)
+		fmt.Printf("geometry      : %d sub-blocks x %d points\n",
+			si.Options.NumSubBlocks, si.Options.SubBlockSize)
+		fmt.Printf("error bound   : %g\n", si.Options.ErrorBound)
+		fmt.Printf("metric        : %s\n", si.Options.Metric)
+		fmt.Printf("encoding      : %s\n", si.Options.Encoding)
+		fmt.Printf("raw size      : %d bytes\n", si.RawBytes)
+		fmt.Printf("compressed    : %d bytes (ratio %.2f)\n", len(in),
+			float64(si.RawBytes)/float64(len(in)))
+		return nil
+
+	case compress:
+		if outPath == "" {
+			return fmt.Errorf("-out is required")
+		}
+		if len(in)%8 != 0 {
+			return fmt.Errorf("input size %d is not a multiple of 8", len(in))
+		}
+		data := make([]float64, len(in)/8)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(in[i*8:]))
+		}
+		opts := pastri.NewOptions(numSB, sbSize, eb)
+		opts.Workers = workers
+		var ok bool
+		if opts.Metric, ok = metricByName(metric); !ok {
+			return fmt.Errorf("unknown metric %q", metric)
+		}
+		comp, stats, err := pastri.CompressWithStats(data, opts)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, comp, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%d blocks, %d -> %d bytes (ratio %.2f); types %v\n",
+			stats.Blocks, len(in), len(comp), float64(len(in))/float64(len(comp)),
+			stats.TypeCount)
+		return nil
+
+	default: // decompress
+		if outPath == "" {
+			return fmt.Errorf("-out is required")
+		}
+		data, err := pastri.DecompressWorkers(in, workers)
+		if err != nil {
+			return err
+		}
+		out := make([]byte, len(data)*8)
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%d -> %d bytes\n", len(in), len(out))
+		return nil
+	}
+}
+
+func metricByName(name string) (pastri.Metric, bool) {
+	switch name {
+	case "ER":
+		return pastri.MetricER, true
+	case "FR":
+		return pastri.MetricFR, true
+	case "AR":
+		return pastri.MetricAR, true
+	case "AAR":
+		return pastri.MetricAAR, true
+	case "IS":
+		return pastri.MetricIS, true
+	}
+	return 0, false
+}

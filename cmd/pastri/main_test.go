@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRawFile(t *testing.T, path string, data []float64) {
+	t.Helper()
+	buf := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "out.pstr")
+	back := filepath.Join(dir, "back.f64")
+
+	data := make([]float64, 2*36*36)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.1) * 1e-7
+	}
+	writeRawFile(t, raw, data)
+
+	if err := run(true, false, false, 36, 36, 1e-10, "ER", raw, comp, 1); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := run(false, false, true, 0, 0, 0, "", comp, "", 0); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := run(false, true, false, 0, 0, 0, "", comp, back, 1); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data)*8 {
+		t.Fatalf("round trip size %d, want %d", len(got), len(data)*8)
+	}
+	for i := range data {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(got[i*8:]))
+		if math.Abs(v-data[i]) > 1e-10*(1+1e-9) {
+			t.Fatalf("element %d out of bound", i)
+		}
+	}
+	// Compression actually happened.
+	ci, err := os.Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Size() >= int64(len(data)*8) {
+		t.Fatalf("compressed file %d not smaller than raw %d", ci.Size(), len(data)*8)
+	}
+}
+
+func TestCLIValidation(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	writeRawFile(t, raw, make([]float64, 36*36))
+
+	cases := []struct {
+		name string
+		err  bool
+		f    func() error
+	}{
+		{"no mode", true, func() error {
+			return run(false, false, false, 36, 36, 1e-10, "ER", raw, "", 0)
+		}},
+		{"two modes", true, func() error {
+			return run(true, true, false, 36, 36, 1e-10, "ER", raw, "x", 0)
+		}},
+		{"no input", true, func() error {
+			return run(true, false, false, 36, 36, 1e-10, "ER", "", "x", 0)
+		}},
+		{"missing input", true, func() error {
+			return run(true, false, false, 36, 36, 1e-10, "ER", filepath.Join(dir, "nope"), "x", 0)
+		}},
+		{"no output", true, func() error {
+			return run(true, false, false, 36, 36, 1e-10, "ER", raw, "", 0)
+		}},
+		{"bad metric", true, func() error {
+			return run(true, false, false, 36, 36, 1e-10, "XX", raw, filepath.Join(dir, "o"), 0)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.f(); (err != nil) != c.err {
+			t.Errorf("%s: err = %v, want error=%v", c.name, err, c.err)
+		}
+	}
+}
+
+func TestMetricByName(t *testing.T) {
+	for _, name := range []string{"ER", "FR", "AR", "AAR", "IS"} {
+		if _, ok := metricByName(name); !ok {
+			t.Errorf("metric %s not found", name)
+		}
+	}
+	if _, ok := metricByName("nope"); ok {
+		t.Error("bogus metric accepted")
+	}
+}

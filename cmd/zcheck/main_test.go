@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	pastri "repro"
+)
+
+func writeRaw(t *testing.T, path string, data []float64) {
+	t.Helper()
+	buf := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZCheckRawPair(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.f64")
+	recon := filepath.Join(dir, "recon.f64")
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1.0001, 2, 3, 3.9999}
+	writeRaw(t, orig, a)
+	writeRaw(t, recon, b)
+	if err := run(orig, recon, "", 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// With a tight bound it must report the violation as an error.
+	if err := run(orig, recon, "", 10, 1e-6); err == nil {
+		t.Fatal("violated bound not reported")
+	}
+	if err := run(orig, recon, "", 10, 1e-3); err != nil {
+		t.Fatalf("satisfied bound rejected: %v", err)
+	}
+}
+
+func TestZCheckPaSTRIStream(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.f64")
+	pstr := filepath.Join(dir, "data.pstr")
+	data := make([]float64, 6*6)
+	for i := range data {
+		data[i] = float64(i) * 1e-8
+	}
+	writeRaw(t, orig, data)
+	comp, err := pastri.Compress(data, pastri.NewOptions(6, 6, 1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pstr, comp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Bound defaults to the stream's recorded error bound.
+	if err := run(orig, "", pstr, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZCheckValidation(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "o.f64")
+	writeRaw(t, orig, []float64{1})
+	if err := run("", "x", "", 0, 0); err == nil {
+		t.Error("missing -orig accepted")
+	}
+	if err := run(orig, "", "", 0, 0); err == nil {
+		t.Error("neither -recon nor -pstr rejected")
+	}
+	if err := run(orig, "a", "b", 0, 0); err == nil {
+		t.Error("both -recon and -pstr accepted")
+	}
+	bad := filepath.Join(dir, "bad.f64")
+	if err := os.WriteFile(bad, []byte("123"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(orig, bad, "", 0, 0); err == nil {
+		t.Error("non-multiple-of-8 file accepted")
+	}
+}

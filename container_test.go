@@ -1,0 +1,71 @@
+package pastri
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestContainerPublicRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := NewOptions(1, 1, 1e-10)
+	w, err := NewContainerWriter(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geos := []BlockGeometry{{36, 36}, {60, 100}, {100, 100}}
+	var blocks [][]float64
+	var shapes []BlockGeometry
+	for i := 0; i < 12; i++ {
+		g := geos[rng.Intn(len(geos))]
+		blk := patterned(rng, 1, g.NumSubBlocks, g.SubBlockSize, 1e-7, 1e-12)
+		if err := w.WriteBlock(g, blk); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+		shapes = append(shapes, g)
+	}
+	if w.Blocks() != 12 || w.Sections() < 2 {
+		t.Fatalf("Blocks=%d Sections=%d", w.Blocks(), w.Sections())
+	}
+	buf, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewContainerReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 12 {
+		t.Fatalf("reader Blocks=%d", r.Blocks())
+	}
+	for i := range blocks {
+		g, err := r.GeometryOf(i)
+		if err != nil || g != shapes[i] {
+			t.Fatalf("GeometryOf(%d) = %v, %v", i, g, err)
+		}
+		data, g2, err := r.Next()
+		if err != nil || g2 != shapes[i] {
+			t.Fatalf("Next %d: %v, %v", i, g2, err)
+		}
+		for j := range data {
+			if math.Abs(data[j]-blocks[i][j]) > 1e-10*(1+1e-9) {
+				t.Fatalf("block %d point %d out of bound", i, j)
+			}
+		}
+	}
+	data, _, err := r.Next()
+	if err != nil || data != nil {
+		t.Fatalf("end of container: %v, %v", data, err)
+	}
+	r.Reset()
+	if data, _, _ := r.Next(); data == nil {
+		t.Fatal("Reset did not rewind")
+	}
+	if _, err := NewContainerReader([]byte("bogus")); err == nil {
+		t.Fatal("bogus container accepted")
+	}
+	if _, err := NewContainerWriter(Options{ErrorBound: -1}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

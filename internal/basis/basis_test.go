@@ -1,0 +1,323 @@
+package basis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNCart(t *testing.T) {
+	want := map[int]int{0: 1, 1: 3, 2: 6, 3: 10, 4: 15}
+	for l, n := range want {
+		if got := NCart(l); got != n {
+			t.Errorf("NCart(%d) = %d, want %d", l, got, n)
+		}
+		if got := len(CartComponents(l)); got != n {
+			t.Errorf("len(CartComponents(%d)) = %d, want %d", l, got, n)
+		}
+	}
+}
+
+func TestCartComponentsValid(t *testing.T) {
+	for l := 0; l <= 8; l++ {
+		seen := map[CartComponent]bool{}
+		for _, c := range CartComponents(l) {
+			if c.Lx+c.Ly+c.Lz != l {
+				t.Fatalf("l=%d: component %+v sums to %d", l, c, c.Lx+c.Ly+c.Lz)
+			}
+			if c.Lx < 0 || c.Ly < 0 || c.Lz < 0 {
+				t.Fatalf("l=%d: negative exponent in %+v", l, c)
+			}
+			if seen[c] {
+				t.Fatalf("l=%d: duplicate component %+v", l, c)
+			}
+			seen[c] = true
+		}
+	}
+	// Canonical order for p and d shells.
+	p := CartComponents(1)
+	if p[0] != (CartComponent{1, 0, 0}) || p[1] != (CartComponent{0, 1, 0}) || p[2] != (CartComponent{0, 0, 1}) {
+		t.Errorf("p order: %v", p)
+	}
+	d := CartComponents(2)
+	if d[0] != (CartComponent{2, 0, 0}) || d[5] != (CartComponent{0, 0, 2}) {
+		t.Errorf("d order: %v", d)
+	}
+}
+
+func TestShellLetter(t *testing.T) {
+	for l, want := range []string{"s", "p", "d", "f", "g"} {
+		if got := ShellLetter(l); got != want {
+			t.Errorf("ShellLetter(%d) = %q, want %q", l, got, want)
+		}
+	}
+	if ShellLetter(20) != "l20" {
+		t.Errorf("ShellLetter(20) = %q", ShellLetter(20))
+	}
+}
+
+// A normalized primitive must have unit self-overlap under the analytic
+// same-center overlap formula.
+func TestPrimitiveNormSelfOverlap(t *testing.T) {
+	for _, alpha := range []float64{0.2, 1.0, 5.5} {
+		for l := 0; l <= 3; l++ {
+			for _, c := range CartComponents(l) {
+				n := PrimitiveNorm(alpha, c)
+				p := 2 * alpha
+				df := doubleFactorial(2*c.Lx-1) * doubleFactorial(2*c.Ly-1) * doubleFactorial(2*c.Lz-1)
+				self := n * n * math.Pow(math.Pi/p, 1.5) * df / math.Pow(2*p, float64(l))
+				if math.Abs(self-1) > 1e-12 {
+					t.Errorf("alpha=%g %+v: self overlap %g", alpha, c, self)
+				}
+			}
+		}
+	}
+}
+
+func TestContractedCoefsUnitNorm(t *testing.T) {
+	// STO-3G hydrogen s shell must come out normalized.
+	s := Shell{
+		L:     0,
+		Exps:  []float64{3.42525091, 0.62391373, 0.16885540},
+		Coefs: []float64{0.15432897, 0.53532814, 0.44463454},
+	}
+	for l := 0; l <= 3; l++ {
+		s.L = l
+		for _, c := range CartComponents(l) {
+			eff := s.ContractedCoefs(c)
+			df := doubleFactorial(2*c.Lx-1) * doubleFactorial(2*c.Ly-1) * doubleFactorial(2*c.Lz-1)
+			self := 0.0
+			for i, ai := range s.Exps {
+				for j, aj := range s.Exps {
+					p := ai + aj
+					self += eff[i] * eff[j] * math.Pow(math.Pi/p, 1.5) * df / math.Pow(2*p, float64(l))
+				}
+			}
+			if math.Abs(self-1) > 1e-10 {
+				t.Errorf("l=%d %+v: contracted self overlap %g", l, c, self)
+			}
+		}
+	}
+}
+
+func TestShellValidate(t *testing.T) {
+	good := Shell{L: 2, Exps: []float64{1.0}, Coefs: []float64{1.0}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid shell rejected: %v", err)
+	}
+	bad := []Shell{
+		{L: -1, Exps: []float64{1}, Coefs: []float64{1}},
+		{L: 0, Exps: nil, Coefs: nil},
+		{L: 0, Exps: []float64{1, 2}, Coefs: []float64{1}},
+		{L: 0, Exps: []float64{-1}, Coefs: []float64{1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad shell %d accepted", i)
+		}
+	}
+}
+
+func dist(a, b Atom) float64 { return a.Pos.Sub(b.Pos).Norm() / AngstromToBohr }
+
+func TestWaterGeometry(t *testing.T) {
+	w := Water()
+	if len(w.Atoms) != 3 {
+		t.Fatalf("water has %d atoms", len(w.Atoms))
+	}
+	if d := dist(w.Atoms[0], w.Atoms[1]); math.Abs(d-0.9572) > 1e-6 {
+		t.Errorf("OH1 = %g Å", d)
+	}
+	if d := dist(w.Atoms[0], w.Atoms[2]); math.Abs(d-0.9572) > 1e-6 {
+		t.Errorf("OH2 = %g Å", d)
+	}
+	v1 := w.Atoms[1].Pos.Sub(w.Atoms[0].Pos)
+	v2 := w.Atoms[2].Pos.Sub(w.Atoms[0].Pos)
+	ang := math.Acos(v1.Dot(v2)/(v1.Norm()*v2.Norm())) * 180 / math.Pi
+	if math.Abs(ang-104.52) > 1e-4 {
+		t.Errorf("HOH angle = %g°", ang)
+	}
+}
+
+func TestBenzeneGeometry(t *testing.T) {
+	b := Benzene()
+	if len(b.Atoms) != 12 {
+		t.Fatalf("benzene has %d atoms", len(b.Atoms))
+	}
+	heavy := b.HeavyAtoms()
+	if len(heavy) != 6 {
+		t.Fatalf("benzene has %d heavy atoms", len(heavy))
+	}
+	// Adjacent C–C distances all 1.397 Å.
+	for i := 0; i < 6; i++ {
+		d := dist(heavy[i], heavy[(i+1)%6])
+		if math.Abs(d-1.397) > 1e-6 {
+			t.Errorf("C%d–C%d = %g Å", i, (i+1)%6, d)
+		}
+	}
+	// Each C has an H at 1.084 Å.
+	for i := 0; i < 6; i++ {
+		d := dist(b.Atoms[2*i], b.Atoms[2*i+1])
+		if math.Abs(d-1.084) > 1e-6 {
+			t.Errorf("C–H %d = %g Å", i, d)
+		}
+	}
+}
+
+func countElements(m Molecule) map[string]int {
+	c := map[string]int{}
+	for _, a := range m.Atoms {
+		c[a.Symbol]++
+	}
+	return c
+}
+
+// geometrySane checks that no two atoms overlap and bonded-scale
+// distances exist — guards against Z-matrix construction bugs.
+func geometrySane(t *testing.T, m Molecule) {
+	t.Helper()
+	for i := 0; i < len(m.Atoms); i++ {
+		minD := math.Inf(1)
+		for j := 0; j < len(m.Atoms); j++ {
+			if i == j {
+				continue
+			}
+			d := dist(m.Atoms[i], m.Atoms[j])
+			if d < minD {
+				minD = d
+			}
+		}
+		if minD < 0.85 {
+			t.Errorf("%s: atom %d (%s) too close to a neighbor: %.3f Å",
+				m.Name, i, m.Atoms[i].Symbol, minD)
+		}
+		if minD > 2.0 {
+			t.Errorf("%s: atom %d (%s) floating free: nearest %.3f Å",
+				m.Name, i, m.Atoms[i].Symbol, minD)
+		}
+	}
+}
+
+func TestGlutamineFormula(t *testing.T) {
+	g := Glutamine()
+	want := map[string]int{"C": 5, "H": 10, "N": 2, "O": 3}
+	got := countElements(g)
+	for el, n := range want {
+		if got[el] != n {
+			t.Errorf("glutamine %s count = %d, want %d", el, got[el], n)
+		}
+	}
+	if g.NElectrons() != 5*6+10+2*7+3*8 {
+		t.Errorf("glutamine electrons = %d", g.NElectrons())
+	}
+	geometrySane(t, g)
+}
+
+func TestTriAlanineFormula(t *testing.T) {
+	a := TriAlanine()
+	want := map[string]int{"C": 9, "H": 17, "N": 3, "O": 4}
+	got := countElements(a)
+	for el, n := range want {
+		if got[el] != n {
+			t.Errorf("tri-alanine %s count = %d, want %d", el, got[el], n)
+		}
+	}
+	if len(a.Atoms) != 33 {
+		t.Errorf("tri-alanine has %d atoms, want 33", len(a.Atoms))
+	}
+	geometrySane(t, a)
+}
+
+func TestH2NuclearRepulsion(t *testing.T) {
+	h2 := H2()
+	r := 0.7414 * AngstromToBohr
+	if got, want := h2.NuclearRepulsion(), 1/r; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H2 Vnn = %g, want %g", got, want)
+	}
+}
+
+func TestMoleculesMap(t *testing.T) {
+	ms := Molecules()
+	for _, name := range []string{"alanine", "benzene", "glutamine"} {
+		if _, ok := ms[name]; !ok {
+			t.Errorf("missing molecule %q", name)
+		}
+	}
+}
+
+func TestNewBasisSetOffsets(t *testing.T) {
+	mol := Water()
+	shells := []Shell{
+		{Atom: 0, Center: mol.Atoms[0].Pos, L: 0, Exps: []float64{1}, Coefs: []float64{1}},
+		{Atom: 0, Center: mol.Atoms[0].Pos, L: 1, Exps: []float64{1}, Coefs: []float64{1}},
+		{Atom: 1, Center: mol.Atoms[1].Pos, L: 2, Exps: []float64{1}, Coefs: []float64{1}},
+	}
+	bs, err := NewBasisSet(mol, shells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.NBF() != 1+3+6 {
+		t.Errorf("NBF = %d", bs.NBF())
+	}
+	if bs.Offset(0) != 0 || bs.Offset(1) != 1 || bs.Offset(2) != 4 {
+		t.Errorf("offsets: %d %d %d", bs.Offset(0), bs.Offset(1), bs.Offset(2))
+	}
+	if bs.NShells() != 3 {
+		t.Errorf("NShells = %d", bs.NShells())
+	}
+	shells[0].Exps = nil
+	if _, err := NewBasisSet(mol, shells); err == nil {
+		t.Error("invalid shell accepted")
+	}
+}
+
+func TestZMatrixErrors(t *testing.T) {
+	if _, err := ZToCartesian("x", []ZEntry{{Symbol: "Xx"}}); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if _, err := ZToCartesian("x", []ZEntry{
+		{Symbol: "H"}, {Symbol: "H", RefD: 5, Dist: 1},
+	}); err == nil {
+		t.Error("bad reference accepted")
+	}
+	// Collinear references for a torsion placement.
+	if _, err := ZToCartesian("x", []ZEntry{
+		{Symbol: "C"},
+		{Symbol: "C", RefD: 0, Dist: 1},
+		{Symbol: "C", RefD: 1, Dist: 1, RefA: 0, Angle: 180},
+		{Symbol: "H", RefD: 2, Dist: 1, RefA: 1, Angle: 109, RefT: 0, Torsion: 60},
+	}); err == nil {
+		t.Error("collinear torsion reference accepted")
+	}
+	// Out-of-range forward reference.
+	if _, err := ZToCartesian("x", []ZEntry{
+		{Symbol: "C"},
+		{Symbol: "C", RefD: 0, Dist: 1},
+		{Symbol: "C", RefD: 1, Dist: 1, RefA: 0, Angle: 100},
+		{Symbol: "H", RefD: 3, Dist: 1, RefA: 1, Angle: 109, RefT: 0, Torsion: 60},
+	}); err == nil {
+		t.Error("forward reference accepted")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if c := a.Cross(b); c != (Vec3{0, 0, 1}) {
+		t.Errorf("cross = %v", c)
+	}
+	if d := a.Add(b).Sub(b); d != a {
+		t.Errorf("add/sub = %v", d)
+	}
+	if a.Dot(b) != 0 {
+		t.Errorf("dot = %g", a.Dot(b))
+	}
+	if u := (Vec3{3, 4, 0}).Unit(); math.Abs(u.Norm()-1) > 1e-15 {
+		t.Errorf("unit norm = %g", u.Norm())
+	}
+	if z := (Vec3{}).Unit(); z != (Vec3{}) {
+		t.Errorf("zero unit = %v", z)
+	}
+	if s := a.Scale(2.5); s != (Vec3{2.5, 0, 0}) {
+		t.Errorf("scale = %v", s)
+	}
+}

@@ -1,0 +1,287 @@
+package basis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the molecular geometries behind the paper's
+// evaluation datasets (Fig. 8: benzene, glutamine, tri-alanine) plus
+// small systems for unit tests and the Hartree–Fock example.
+//
+// The paper's datasets came from GAMESS input decks we do not have; per
+// DESIGN.md, benzene uses the exact experimental D6h geometry and
+// glutamine / tri-alanine use chemically plausible geometries built from
+// internal coordinates (standard bond lengths and angles) with the
+// Z-matrix converter below. The compression study only requires realistic
+// interatomic distance distributions, which these provide.
+
+// ZEntry defines one atom of a Z-matrix: its element and up to three
+// reference atoms with distance (Å), angle (degrees) and dihedral
+// (degrees). For the first three atoms unused references are -1.
+type ZEntry struct {
+	Symbol  string
+	RefD    int     // atom this one is bonded to (distance reference)
+	Dist    float64 // Å
+	RefA    int     // angle reference
+	Angle   float64 // degrees
+	RefT    int     // torsion reference
+	Torsion float64 // degrees
+}
+
+// elementZ maps symbols to nuclear charge.
+var elementZ = map[string]int{
+	"H": 1, "He": 2, "Li": 3, "Be": 4, "B": 5, "C": 6, "N": 7, "O": 8,
+	"F": 9, "Ne": 10, "S": 16, "P": 15, "Cl": 17,
+}
+
+// ZToCartesian converts a Z-matrix to Cartesian coordinates (in Bohr)
+// using the standard NeRF placement. Distances are given in Å.
+func ZToCartesian(name string, entries []ZEntry) (Molecule, error) {
+	mol := Molecule{Name: name}
+	pos := make([]Vec3, 0, len(entries))
+	for i, e := range entries {
+		z, ok := elementZ[e.Symbol]
+		if !ok {
+			return Molecule{}, fmt.Errorf("basis: unknown element %q", e.Symbol)
+		}
+		d := e.Dist * AngstromToBohr
+		var p Vec3
+		switch {
+		case i == 0:
+			p = Vec3{}
+		case i == 1:
+			if e.RefD != 0 {
+				return Molecule{}, fmt.Errorf("basis: atom 1 must reference atom 0")
+			}
+			p = Vec3{d, 0, 0}
+		case i == 2:
+			a := pos[e.RefD]
+			b := pos[e.RefA]
+			ang := e.Angle * math.Pi / 180
+			// Place in the xy-plane.
+			ab := b.Sub(a).Unit()
+			p = a.Add(Vec3{
+				ab[0]*d*math.Cos(ang) - ab[1]*d*math.Sin(ang),
+				ab[1]*d*math.Cos(ang) + ab[0]*d*math.Sin(ang),
+				0,
+			})
+		default:
+			if e.RefD >= i || e.RefA >= i || e.RefT >= i ||
+				e.RefD < 0 || e.RefA < 0 || e.RefT < 0 {
+				return Molecule{}, fmt.Errorf("basis: atom %d has invalid references", i)
+			}
+			a, b, c := pos[e.RefD], pos[e.RefA], pos[e.RefT]
+			ang := e.Angle * math.Pi / 180
+			tor := e.Torsion * math.Pi / 180
+			ba := a.Sub(b)
+			cb := b.Sub(c)
+			cross := cb.Cross(ba)
+			if cross.Norm() < 1e-9*cb.Norm()*ba.Norm() {
+				return Molecule{}, fmt.Errorf("basis: atom %d references are collinear", i)
+			}
+			n := cross.Unit()
+			// Local frame at a: x along a←b, z along n.
+			x := ba.Unit()
+			zAxis := n
+			yAxis := zAxis.Cross(x)
+			local := Vec3{
+				-d * math.Cos(ang),
+				d * math.Sin(ang) * math.Cos(tor),
+				d * math.Sin(ang) * math.Sin(tor),
+			}
+			p = a.Add(x.Scale(local[0])).Add(yAxis.Scale(local[1])).Add(zAxis.Scale(local[2]))
+		}
+		pos = append(pos, p)
+		mol.Atoms = append(mol.Atoms, Atom{Symbol: e.Symbol, Z: z, Pos: p})
+	}
+	return mol, nil
+}
+
+// mustZ builds a molecule from a Z-matrix and panics on structural
+// errors; all inputs here are compile-time constants.
+func mustZ(name string, entries []ZEntry) Molecule {
+	m, err := ZToCartesian(name, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// H2 returns molecular hydrogen at the experimental bond length.
+func H2() Molecule {
+	return mustZ("H2", []ZEntry{
+		{Symbol: "H"},
+		{Symbol: "H", RefD: 0, Dist: 0.7414},
+	})
+}
+
+// Water returns H2O at the experimental geometry (r=0.9572 Å,
+// θ=104.52°).
+func Water() Molecule {
+	return mustZ("water", []ZEntry{
+		{Symbol: "O"},
+		{Symbol: "H", RefD: 0, Dist: 0.9572},
+		{Symbol: "H", RefD: 0, Dist: 0.9572, RefA: 1, Angle: 104.52},
+	})
+}
+
+// HeH returns the HeH+ cation's geometry (a classic 2-electron test).
+func HeH() Molecule {
+	return mustZ("HeH+", []ZEntry{
+		{Symbol: "He"},
+		{Symbol: "H", RefD: 0, Dist: 0.772},
+	})
+}
+
+// Benzene returns C6H6 at the experimental D6h geometry
+// (r_CC = 1.397 Å, r_CH = 1.084 Å), one of the paper's three benchmark
+// molecules (Fig. 8a).
+func Benzene() Molecule {
+	const rCC = 1.397 * AngstromToBohr
+	const rCH = (1.397 + 1.084) * AngstromToBohr
+	mol := Molecule{Name: "benzene"}
+	for i := 0; i < 6; i++ {
+		th := float64(i) * math.Pi / 3
+		c, s := math.Cos(th), math.Sin(th)
+		mol.Atoms = append(mol.Atoms, Atom{Symbol: "C", Z: 6, Pos: Vec3{rCC * c, rCC * s, 0}})
+		mol.Atoms = append(mol.Atoms, Atom{Symbol: "H", Z: 1, Pos: Vec3{rCH * c, rCH * s, 0}})
+	}
+	return mol
+}
+
+// Glutamine returns the amino acid glutamine (C5H10N2O3, 20 atoms), one
+// of the paper's benchmark molecules (Fig. 8b), built from standard
+// internal coordinates (constructed geometry — see DESIGN.md).
+func Glutamine() Molecule {
+	// Backbone: N(0)–CA(1)–C(2)(=O(3))–O(4)H; side chain CA–CB(5)–CG(6)–
+	// CD(7)(=OE1(8))–NE2(9); hydrogens fill the valences.
+	return mustZ("glutamine", []ZEntry{
+		{Symbol: "N"},                      // 0  N
+		{Symbol: "C", RefD: 0, Dist: 1.47}, // 1  CA
+		{Symbol: "C", RefD: 1, Dist: 1.53, RefA: 0, Angle: 110.5},                         // 2  C
+		{Symbol: "O", RefD: 2, Dist: 1.23, RefA: 1, Angle: 121.0, RefT: 0, Torsion: 0},    // 3  O (carbonyl)
+		{Symbol: "O", RefD: 2, Dist: 1.34, RefA: 1, Angle: 114.0, RefT: 0, Torsion: 180},  // 4  O (hydroxyl)
+		{Symbol: "C", RefD: 1, Dist: 1.53, RefA: 0, Angle: 109.5, RefT: 2, Torsion: 120},  // 5  CB
+		{Symbol: "C", RefD: 5, Dist: 1.53, RefA: 1, Angle: 112.0, RefT: 0, Torsion: 180},  // 6  CG
+		{Symbol: "C", RefD: 6, Dist: 1.52, RefA: 5, Angle: 112.0, RefT: 1, Torsion: 180},  // 7  CD
+		{Symbol: "O", RefD: 7, Dist: 1.23, RefA: 6, Angle: 121.0, RefT: 5, Torsion: 0},    // 8  OE1
+		{Symbol: "N", RefD: 7, Dist: 1.33, RefA: 6, Angle: 116.0, RefT: 5, Torsion: 180},  // 9  NE2
+		{Symbol: "H", RefD: 0, Dist: 1.01, RefA: 1, Angle: 109.5, RefT: 2, Torsion: 60},   // 10 H(N)
+		{Symbol: "H", RefD: 0, Dist: 1.01, RefA: 1, Angle: 109.5, RefT: 2, Torsion: -60},  // 11 H(N)
+		{Symbol: "H", RefD: 1, Dist: 1.09, RefA: 0, Angle: 109.5, RefT: 2, Torsion: -120}, // 12 H(CA)
+		{Symbol: "H", RefD: 4, Dist: 0.97, RefA: 2, Angle: 106.0, RefT: 1, Torsion: 180},  // 13 H(O)
+		{Symbol: "H", RefD: 5, Dist: 1.09, RefA: 1, Angle: 109.5, RefT: 6, Torsion: 120},  // 14 H(CB)
+		{Symbol: "H", RefD: 5, Dist: 1.09, RefA: 1, Angle: 109.5, RefT: 6, Torsion: -120}, // 15 H(CB)
+		{Symbol: "H", RefD: 6, Dist: 1.09, RefA: 5, Angle: 109.5, RefT: 7, Torsion: 120},  // 16 H(CG)
+		{Symbol: "H", RefD: 6, Dist: 1.09, RefA: 5, Angle: 109.5, RefT: 7, Torsion: -120}, // 17 H(CG)
+		{Symbol: "H", RefD: 9, Dist: 1.01, RefA: 7, Angle: 120.0, RefT: 6, Torsion: 0},    // 18 H(NE2)
+		{Symbol: "H", RefD: 9, Dist: 1.01, RefA: 7, Angle: 120.0, RefT: 6, Torsion: 180},  // 19 H(NE2)
+	})
+}
+
+// PolyAlanine builds an extended (all-trans) polypeptide of n alanine
+// residues with an N-terminal H2N– group and a C-terminal –COOH, using
+// standard backbone bond lengths and angles. TriAlanine (n=3) is the
+// paper's third benchmark molecule (Fig. 8c).
+func PolyAlanine(n int) Molecule {
+	if n < 1 {
+		panic("basis: PolyAlanine needs n >= 1")
+	}
+	var z []ZEntry
+	// Seed residue: N, CA, C.
+	z = append(z,
+		ZEntry{Symbol: "N"},
+		ZEntry{Symbol: "C", RefD: 0, Dist: 1.47},                        // CA
+		ZEntry{Symbol: "C", RefD: 1, Dist: 1.53, RefA: 0, Angle: 111.0}, // C
+	)
+	nIdx, caIdx, cIdx := 0, 1, 2
+	prevCA := -1
+	for res := 0; res < n; res++ {
+		// Carbonyl oxygen on C.
+		refT := nIdx
+		z = append(z, ZEntry{Symbol: "O", RefD: cIdx, Dist: 1.23, RefA: caIdx, Angle: 121.0, RefT: refT, Torsion: 0})
+		// Side-chain CB + 3 methyl hydrogens on CA.
+		z = append(z, ZEntry{Symbol: "C", RefD: caIdx, Dist: 1.53, RefA: nIdx, Angle: 109.5, RefT: cIdx, Torsion: 120})
+		cb := len(z) - 1
+		for k, tor := range []float64{60, 180, -60} {
+			_ = k
+			z = append(z, ZEntry{Symbol: "H", RefD: cb, Dist: 1.09, RefA: caIdx, Angle: 109.5, RefT: nIdx, Torsion: tor})
+		}
+		// Hα on CA.
+		z = append(z, ZEntry{Symbol: "H", RefD: caIdx, Dist: 1.09, RefA: nIdx, Angle: 109.5, RefT: cIdx, Torsion: -120})
+		// Amide hydrogens: 2 on the N-terminus, 1 on interior N.
+		if res == 0 {
+			z = append(z, ZEntry{Symbol: "H", RefD: nIdx, Dist: 1.01, RefA: caIdx, Angle: 109.5, RefT: cIdx, Torsion: 60})
+			z = append(z, ZEntry{Symbol: "H", RefD: nIdx, Dist: 1.01, RefA: caIdx, Angle: 109.5, RefT: cIdx, Torsion: 180})
+		} else {
+			z = append(z, ZEntry{Symbol: "H", RefD: nIdx, Dist: 1.01, RefA: caIdx, Angle: 119.0, RefT: prevCA, Torsion: 180})
+		}
+		if res == n-1 {
+			// C-terminal hydroxyl.
+			z = append(z, ZEntry{Symbol: "O", RefD: cIdx, Dist: 1.34, RefA: caIdx, Angle: 114.0, RefT: nIdx, Torsion: 180})
+			oh := len(z) - 1
+			z = append(z, ZEntry{Symbol: "H", RefD: oh, Dist: 0.97, RefA: cIdx, Angle: 106.0, RefT: caIdx, Torsion: 180})
+			break
+		}
+		// Peptide bond to the next residue: C–N(+1)–CA(+1)–C(+1).
+		z = append(z, ZEntry{Symbol: "N", RefD: cIdx, Dist: 1.33, RefA: caIdx, Angle: 116.0, RefT: nIdx, Torsion: 180})
+		newN := len(z) - 1
+		z = append(z, ZEntry{Symbol: "C", RefD: newN, Dist: 1.46, RefA: cIdx, Angle: 121.0, RefT: caIdx, Torsion: 180})
+		newCA := len(z) - 1
+		z = append(z, ZEntry{Symbol: "C", RefD: newCA, Dist: 1.53, RefA: newN, Angle: 111.0, RefT: cIdx, Torsion: 180})
+		prevCA = caIdx
+		nIdx, caIdx, cIdx = newN, newCA, len(z)-1
+	}
+	name := fmt.Sprintf("poly-alanine-%d", n)
+	if n == 3 {
+		name = "tri-alanine"
+	}
+	return mustZ(name, z)
+}
+
+// TriAlanine returns the tri-alanine tripeptide (Fig. 8c).
+func TriAlanine() Molecule { return PolyAlanine(3) }
+
+// Cluster tiles nx×ny×nz translated copies of a molecule on a cubic
+// grid with the given spacing (Å between copy origins). Large production
+// quantum chemistry datasets cover shell pairs at many distances
+// (solvated/packed systems); a cluster reproduces that distance
+// distribution for a small molecule, which is what gives ERI streams
+// their characteristic Type-0/1-dominated block mix (paper Sec. IV-C).
+func Cluster(m Molecule, nx, ny, nz int, spacing float64) Molecule {
+	return ClusterXYZ(m, nx, ny, nz, spacing, spacing, spacing)
+}
+
+// ClusterXYZ is Cluster with per-axis spacings (Å), for elongated
+// molecules that need anisotropic packing to stay at van-der-Waals
+// contact without collisions.
+func ClusterXYZ(m Molecule, nx, ny, nz int, sx, sy, sz float64) Molecule {
+	out := Molecule{Name: fmt.Sprintf("%s-%dx%dx%d", m.Name, nx, ny, nz)}
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				off := Vec3{
+					float64(ix) * sx * AngstromToBohr,
+					float64(iy) * sy * AngstromToBohr,
+					float64(iz) * sz * AngstromToBohr,
+				}
+				for _, a := range m.Atoms {
+					a.Pos = a.Pos.Add(off)
+					out.Atoms = append(out.Atoms, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Molecules returns the paper's three benchmark molecules keyed by the
+// names used in Fig. 9.
+func Molecules() map[string]Molecule {
+	return map[string]Molecule{
+		"alanine":   TriAlanine(), // the paper labels tri-alanine "alanine" in Fig. 9
+		"benzene":   Benzene(),
+		"glutamine": Glutamine(),
+	}
+}

@@ -1,0 +1,149 @@
+package basis
+
+import "fmt"
+
+// This file holds the concrete basis sets used in the repository:
+//
+//   - STO-3G for H/He/C/N/O — the minimal basis driving the Hartree–Fock
+//     example (each published coefficient refers to a normalized
+//     primitive, the Basis Set Exchange convention);
+//   - the pure-d and pure-f "compression configurations" that stand in
+//     for the paper's (dd|dd) and (ff|ff) GAMESS datasets: one
+//     uncontracted shell of the requested angular momentum per heavy
+//     atom, with an element-dependent polarization exponent.
+
+// sto3gRow holds the STO-3G parameters of one element.
+type sto3gRow struct {
+	sExp, sCoef   [3]float64 // core 1s
+	spExp         [3]float64 // shared 2s/2p exponents (absent for H, He)
+	s2Coef, pCoef [3]float64
+	hasSP         bool
+}
+
+var sto3g = map[string]sto3gRow{
+	"H": {
+		sExp:  [3]float64{3.42525091, 0.62391373, 0.16885540},
+		sCoef: [3]float64{0.15432897, 0.53532814, 0.44463454},
+	},
+	"He": {
+		sExp:  [3]float64{6.36242139, 1.15892300, 0.31364979},
+		sCoef: [3]float64{0.15432897, 0.53532814, 0.44463454},
+	},
+	"Li": {
+		sExp:   [3]float64{16.1195750, 2.9362007, 0.7946505},
+		sCoef:  [3]float64{0.15432897, 0.53532814, 0.44463454},
+		spExp:  [3]float64{0.6362897, 0.1478601, 0.0480887},
+		s2Coef: [3]float64{-0.09996723, 0.39951283, 0.70011547},
+		pCoef:  [3]float64{0.15591627, 0.60768372, 0.39195739},
+		hasSP:  true,
+	},
+	"C": {
+		sExp:   [3]float64{71.6168370, 13.0450960, 3.5305122},
+		sCoef:  [3]float64{0.15432897, 0.53532814, 0.44463454},
+		spExp:  [3]float64{2.9412494, 0.6834831, 0.2222899},
+		s2Coef: [3]float64{-0.09996723, 0.39951283, 0.70011547},
+		pCoef:  [3]float64{0.15591627, 0.60768372, 0.39195739},
+		hasSP:  true,
+	},
+	"N": {
+		sExp:   [3]float64{99.1061690, 18.0523120, 4.8856602},
+		sCoef:  [3]float64{0.15432897, 0.53532814, 0.44463454},
+		spExp:  [3]float64{3.7804559, 0.8784966, 0.2857144},
+		s2Coef: [3]float64{-0.09996723, 0.39951283, 0.70011547},
+		pCoef:  [3]float64{0.15591627, 0.60768372, 0.39195739},
+		hasSP:  true,
+	},
+	"O": {
+		sExp:   [3]float64{130.7093200, 23.8088610, 6.4436083},
+		sCoef:  [3]float64{0.15432897, 0.53532814, 0.44463454},
+		spExp:  [3]float64{5.0331513, 1.1695961, 0.3803890},
+		s2Coef: [3]float64{-0.09996723, 0.39951283, 0.70011547},
+		pCoef:  [3]float64{0.15591627, 0.60768372, 0.39195739},
+		hasSP:  true,
+	},
+}
+
+// STO3G builds the STO-3G basis set for a molecule containing H, He, C,
+// N and/or O atoms.
+func STO3G(mol Molecule) (*BasisSet, error) {
+	var shells []Shell
+	for ai, atom := range mol.Atoms {
+		row, ok := sto3g[atom.Symbol]
+		if !ok {
+			return nil, fmt.Errorf("basis: no STO-3G parameters for %q", atom.Symbol)
+		}
+		shells = append(shells, Shell{
+			Atom: ai, Center: atom.Pos, L: 0,
+			Exps:  row.sExp[:],
+			Coefs: row.sCoef[:],
+		})
+		if row.hasSP {
+			shells = append(shells,
+				Shell{Atom: ai, Center: atom.Pos, L: 0,
+					Exps: row.spExp[:], Coefs: row.s2Coef[:]},
+				Shell{Atom: ai, Center: atom.Pos, L: 1,
+					Exps: row.spExp[:], Coefs: row.pCoef[:]},
+			)
+		}
+	}
+	return NewBasisSet(mol, shells)
+}
+
+// polarizationExp gives the uncontracted polarization exponents used by
+// the compression configurations, per element and angular momentum
+// (cc-pVnZ-like values; the g exponents extend the series for the
+// paper's future-work direction of higher-angular-momentum data).
+var polarizationExp = map[string][3]float64{
+	// {d exponent, f exponent, g exponent}
+	"C": {0.550, 0.680, 1.011},
+	"N": {0.817, 1.093, 1.515},
+	"O": {1.185, 1.428, 2.000},
+}
+
+// defaultPolarization is used for elements without tabulated values.
+var defaultPolarization = [3]float64{0.8, 1.0, 1.4}
+
+// PureShells builds the paper's pure-l compression configuration: one
+// uncontracted shell of angular momentum l (2 = d, 3 = f, 4 = g) on
+// every heavy atom. The resulting shell-quartet blocks are all of type
+// (ll|ll) — e.g. (dd|dd) blocks of 6⁴ = 1296 integrals, (ff|ff) blocks
+// of 10⁴ = 10000 integrals, (gg|gg) blocks of 15⁴ = 50625 integrals.
+func PureShells(mol Molecule, l int) ([]Shell, error) {
+	if l < 2 || l > 4 {
+		return nil, fmt.Errorf("basis: pure configuration supports d (2), f (3) and g (4), got %d", l)
+	}
+	var shells []Shell
+	for ai, atom := range mol.Atoms {
+		if atom.Z <= 1 {
+			continue
+		}
+		exp := defaultPolarization[l-2]
+		if row, ok := polarizationExp[atom.Symbol]; ok {
+			exp = row[l-2]
+		}
+		shells = append(shells, Shell{
+			Atom: ai, Center: atom.Pos, L: l,
+			Exps:  []float64{exp},
+			Coefs: []float64{1},
+		})
+	}
+	if len(shells) == 0 {
+		return nil, fmt.Errorf("basis: molecule %q has no heavy atoms", mol.Name)
+	}
+	return shells, nil
+}
+
+// MixedShells builds a hybrid configuration with both a d and an f shell
+// on every heavy atom, producing the paper's hybrid blocks ((df|fd),
+// etc.).
+func MixedShells(mol Molecule) ([]Shell, error) {
+	d, err := PureShells(mol, 2)
+	if err != nil {
+		return nil, err
+	}
+	f, err := PureShells(mol, 3)
+	if err != nil {
+		return nil, err
+	}
+	return append(d, f...), nil
+}

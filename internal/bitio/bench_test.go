@@ -1,0 +1,37 @@
+package bitio
+
+import "testing"
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 37)
+		w.WriteBits(uint64(i), 27)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(uint64(i), 37)
+		w.WriteBits(uint64(i), 27)
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			r.Reset(buf)
+		}
+		if _, err := r.ReadBits(37); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadBits(27); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package bitio provides bit-granular writing and reading over in-memory
+// buffers. It is the substrate for all entropy coders in this repository
+// (PaSTRI's prefix trees, the SZ Huffman stage, and the ZFP bit-plane
+// coder). Bits are packed MSB-first within each byte, which makes the
+// encoded streams byte-order independent and easy to inspect in tests.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned by Reader methods when the stream ends in
+// the middle of a requested read.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bitstream")
+
+// Writer accumulates bits into an internal byte buffer. The zero value is
+// ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits not yet flushed to buf, left-aligned in the low `n` bits
+	n    uint   // number of valid bits in cur (0..63)
+	bits uint64 // total number of bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Reset discards all written data, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.n = 0
+	w.bits = 0
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 64 {
+		w.flushWord()
+	}
+}
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", width))
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.bits += uint64(width)
+	free := 64 - w.n
+	if width < free {
+		w.cur = w.cur<<width | v
+		w.n += width
+		return
+	}
+	// Fill cur completely, flush, keep remainder.
+	rem := width - free
+	w.cur = w.cur<<free | v>>rem
+	w.n = 64
+	w.flushWord()
+	if rem > 0 {
+		w.cur = v & ((1 << rem) - 1)
+		w.n = rem
+	}
+}
+
+// WriteSigned appends v as a two's-complement integer of `width` bits.
+// v must fit, i.e. -(1<<(width-1)) <= v < 1<<(width-1).
+func (w *Writer) WriteSigned(v int64, width uint) {
+	w.WriteBits(uint64(v), width)
+}
+
+// WriteUnary appends n as a unary code: n one-bits followed by a zero-bit.
+func (w *Writer) WriteUnary(n uint) {
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+func (w *Writer) flushWord() {
+	c := w.cur
+	w.buf = append(w.buf,
+		byte(c>>56), byte(c>>48), byte(c>>40), byte(c>>32),
+		byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	w.cur = 0
+	w.n = 0
+}
+
+// Len returns the number of whole bytes the stream occupies after padding.
+func (w *Writer) Len() int {
+	return int((w.bits + 7) / 8)
+}
+
+// BitLen returns the exact number of bits written so far.
+func (w *Writer) BitLen() uint64 { return w.bits }
+
+// Bytes returns the written stream padded with zero bits to a byte
+// boundary. The returned slice is valid until the next Write/Reset.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	n := w.n
+	cur := w.cur
+	for n >= 8 {
+		n -= 8
+		out = append(out, byte(cur>>n))
+	}
+	if n > 0 {
+		out = append(out, byte(cur<<(8-n)))
+	}
+	// The append above may have grown a new array; only the flushed prefix
+	// lives in w.buf, so re-slicing is safe for subsequent writes.
+	return out
+}
+
+// Reader consumes bits from a byte slice produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	cur  uint64 // bit reservoir, left-aligned in low `n` bits
+	n    uint   // valid bits in cur
+	read uint64 // total bits consumed
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Reset re-points the reader at buf and rewinds it.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.cur = 0
+	r.n = 0
+	r.read = 0
+}
+
+func (r *Reader) fill() {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.n == 0 {
+		r.fill()
+		if r.n == 0 {
+			return 0, ErrUnexpectedEOF
+		}
+	}
+	r.n--
+	r.read++
+	return uint(r.cur>>r.n) & 1, nil
+}
+
+// ReadBits reads `width` bits (MSB-first) into the low bits of the result.
+// width must be in [0, 64].
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	if width > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width))
+	}
+	var v uint64
+	remaining := width
+	for remaining > 0 {
+		if r.n == 0 {
+			r.fill()
+			if r.n == 0 {
+				return 0, ErrUnexpectedEOF
+			}
+		}
+		take := remaining
+		if take > r.n {
+			take = r.n
+		}
+		r.n -= take
+		v = v<<take | (r.cur>>r.n)&((1<<take)-1)
+		if take == 64 {
+			v = r.cur // take==64 implies r.n was 64 and remaining 64
+		}
+		remaining -= take
+		r.read += uint64(take)
+	}
+	return v, nil
+}
+
+// ReadSigned reads a two's-complement integer of `width` bits.
+func (r *Reader) ReadSigned(width uint) (int64, error) {
+	u, err := r.ReadBits(width)
+	if err != nil {
+		return 0, err
+	}
+	if width == 64 {
+		return int64(u), nil
+	}
+	// Sign-extend.
+	if u&(1<<(width-1)) != 0 {
+		u |= ^uint64(0) << width
+	}
+	return int64(u), nil
+}
+
+// ReadUnary reads a unary code (count of leading one-bits before a zero).
+func (r *Reader) ReadUnary() (uint, error) {
+	var n uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// BitsRead reports the total number of bits consumed so far.
+func (r *Reader) BitsRead() uint64 { return r.read }
+
+// AlignByte discards bits up to the next byte boundary.
+func (r *Reader) AlignByte() {
+	drop := r.read % 8
+	if drop != 0 {
+		skip := 8 - drop
+		r.n -= uint(skip)
+		r.read += skip
+	}
+}

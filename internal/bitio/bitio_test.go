@@ -1,0 +1,211 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(16)
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitLen(), uint64(len(bits)); got != want {
+		t.Fatalf("BitLen = %d, want %d", got, want)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width uint
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {0xff, 8}, {0x1234, 16},
+		{0xdeadbeef, 32}, {1<<63 - 1, 63}, {^uint64(0), 64}, {0, 64},
+		{42, 7}, {1023, 10}, {1 << 40, 41},
+	}
+	w := NewWriter(64)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.width)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.width)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.v {
+			t.Fatalf("case %d: got %#x want %#x (width %d)", i, got, c.v, c.width)
+		}
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	cases := []struct {
+		v     int64
+		width uint
+	}{
+		{0, 1}, {-1, 1}, {-1, 2}, {1, 2}, {-4, 3}, {3, 3},
+		{-128, 8}, {127, 8}, {-1 << 20, 21}, {1<<20 - 1, 21},
+		{-1 << 62, 63}, {1<<62 - 1, 63}, {-1, 64}, {1 << 55, 57},
+	}
+	w := NewWriter(64)
+	for _, c := range cases {
+		w.WriteSigned(c.v, c.width)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadSigned(c.width)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.v {
+			t.Fatalf("case %d: got %d want %d (width %d)", i, got, c.v, c.width)
+		}
+	}
+}
+
+func TestUnary(t *testing.T) {
+	w := NewWriter(16)
+	vals := []uint{0, 1, 2, 7, 13, 0, 31}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("unary %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("unary %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestUnexpectedEOF(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("padded byte should be readable: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBits(16); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xabcd, 16)
+	w.Reset()
+	if w.BitLen() != 0 || w.Len() != 0 {
+		t.Fatalf("after Reset: BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	w.WriteBits(0x7, 3)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(3)
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestLenMatchesBytes(t *testing.T) {
+	w := NewWriter(0)
+	for i := 0; i < 100; i++ {
+		w.WriteBits(uint64(i), uint(i%23)+1)
+		if w.Len() != len(w.Bytes()) {
+			t.Fatalf("iteration %d: Len=%d len(Bytes)=%d", i, w.Len(), len(w.Bytes()))
+		}
+	}
+}
+
+// Property: any sequence of (value,width) writes reads back identically.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%200 + 1
+		type item struct {
+			v      uint64
+			width  uint
+			signed bool
+		}
+		items := make([]item, count)
+		w := NewWriter(0)
+		for i := range items {
+			width := uint(rng.Intn(64)) + 1
+			signed := rng.Intn(2) == 0
+			var v uint64
+			if signed {
+				sv := rng.Int63() % (1 << (width - 1))
+				if rng.Intn(2) == 0 && width > 1 {
+					sv = -sv - 1
+				}
+				if width == 1 {
+					sv = -(rng.Int63() % 2)
+				}
+				v = uint64(sv)
+				w.WriteSigned(int64(v), width)
+			} else {
+				v = rng.Uint64()
+				if width < 64 {
+					v &= (1 << width) - 1
+				}
+				w.WriteBits(v, width)
+			}
+			items[i] = item{v, width, signed}
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			if it.signed {
+				got, err := r.ReadSigned(it.width)
+				if err != nil || got != int64(it.v) {
+					return false
+				}
+			} else {
+				got, err := r.ReadBits(it.width)
+				if err != nil || got != it.v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsReadAccounting(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x3, 2)
+	w.WriteBits(0xff, 9)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(2); err != nil {
+		t.Fatal(err)
+	}
+	if r.BitsRead() != 2 {
+		t.Fatalf("BitsRead = %d, want 2", r.BitsRead())
+	}
+	if _, err := r.ReadBits(9); err != nil {
+		t.Fatal(err)
+	}
+	if r.BitsRead() != 11 {
+		t.Fatalf("BitsRead = %d, want 11", r.BitsRead())
+	}
+}

@@ -1,0 +1,230 @@
+// Package container implements a multi-section PaSTRI file for
+// mixed-geometry workloads. A plain PaSTRI stream holds blocks of one
+// shape; real ERI runs over hybrid basis configurations emit many block
+// shapes — the paper's "(df|fd), etc." datasets, where a quartet of d
+// and f shells yields e.g. 6·10 sub-blocks of 10·6 points. A container
+// groups blocks by geometry into sections, each an independent PaSTRI
+// stream, preserving the original block order via a block directory.
+//
+// Layout:
+//
+//	magic     [4]byte "PSTC"
+//	version   uint8
+//	nsections uint32
+//	norder    uint64                   (total blocks, in original order)
+//	order     norder × uvarint         (section index per block)
+//	sections  nsections × { uvarint length; PaSTRI stream }
+//
+// The per-block section assignment plus each section's internal order
+// reconstructs the original sequence: the k-th occurrence of section s
+// in the directory is block k of section s.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+var magic = [4]byte{'P', 'S', 'T', 'C'}
+
+const version = 1
+
+// Geometry is a block shape.
+type Geometry struct {
+	NumSB  int
+	SBSize int
+}
+
+// BlockSize returns values per block.
+func (g Geometry) BlockSize() int { return g.NumSB * g.SBSize }
+
+// Writer assembles a container in memory. Blocks may arrive in any
+// geometry order; Bytes() compresses each section (in parallel, via the
+// core stream codec) and serializes the result.
+type Writer struct {
+	cfgBase  core.Config
+	sections map[Geometry]int
+	raw      [][]float64 // per section: concatenated raw blocks
+	geos     []Geometry
+	order    []uint32
+}
+
+// NewWriter creates a container writer. base supplies everything except
+// the geometry (error bound, metric, encoding, sparse flag, workers).
+func NewWriter(base core.Config) (*Writer, error) {
+	probe := base
+	probe.NumSB, probe.SBSize = 1, 1
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		cfgBase:  base,
+		sections: map[Geometry]int{},
+	}, nil
+}
+
+// WriteBlock appends one block of the given geometry.
+func (w *Writer) WriteBlock(g Geometry, block []float64) error {
+	if g.NumSB <= 0 || g.SBSize <= 0 {
+		return fmt.Errorf("container: invalid geometry %d×%d", g.NumSB, g.SBSize)
+	}
+	if len(block) != g.BlockSize() {
+		return fmt.Errorf("container: block has %d values, geometry wants %d", len(block), g.BlockSize())
+	}
+	idx, ok := w.sections[g]
+	if !ok {
+		idx = len(w.geos)
+		w.sections[g] = idx
+		w.geos = append(w.geos, g)
+		w.raw = append(w.raw, nil)
+	}
+	w.raw[idx] = append(w.raw[idx], block...)
+	w.order = append(w.order, uint32(idx))
+	return nil
+}
+
+// Sections returns the number of distinct geometries seen.
+func (w *Writer) Sections() int { return len(w.geos) }
+
+// Blocks returns the total number of blocks written.
+func (w *Writer) Blocks() int { return len(w.order) }
+
+// Bytes serializes the container.
+func (w *Writer) Bytes() ([]byte, error) {
+	var out []byte
+	out = append(out, magic[:]...)
+	out = append(out, version)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(w.geos)))
+	out = append(out, b4[:]...)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(w.order)))
+	out = append(out, b8[:]...)
+	var vb [binary.MaxVarintLen64]byte
+	for _, s := range w.order {
+		n := binary.PutUvarint(vb[:], uint64(s))
+		out = append(out, vb[:n]...)
+	}
+	for i, g := range w.geos {
+		cfg := w.cfgBase
+		cfg.NumSB, cfg.SBSize = g.NumSB, g.SBSize
+		stream, err := core.Compress(w.raw[i], cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		n := binary.PutUvarint(vb[:], uint64(len(stream)))
+		out = append(out, vb[:n]...)
+		out = append(out, stream...)
+	}
+	return out, nil
+}
+
+// Reader decodes a container.
+type Reader struct {
+	order    []uint32
+	sections []*core.BlockReader
+	// cursor[s] is the next block index within section s during
+	// sequential replay; consumed counts blocks replayed so far.
+	cursor   []int
+	consumed int
+}
+
+// NewReader parses a container.
+func NewReader(buf []byte) (*Reader, error) {
+	if len(buf) < 17 {
+		return nil, fmt.Errorf("container: too short")
+	}
+	if [4]byte(buf[:4]) != magic {
+		return nil, fmt.Errorf("container: bad magic %q", buf[:4])
+	}
+	if buf[4] != version {
+		return nil, fmt.Errorf("container: unsupported version %d", buf[4])
+	}
+	nsec := binary.LittleEndian.Uint32(buf[5:9])
+	norder := binary.LittleEndian.Uint64(buf[9:17])
+	if nsec > 1<<16 || norder > 1<<40 {
+		return nil, fmt.Errorf("container: implausible counts (%d sections, %d blocks)", nsec, norder)
+	}
+	off := 17
+	r := &Reader{order: make([]uint32, norder)}
+	for i := range r.order {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("container: corrupt directory at %d", off)
+		}
+		if v >= uint64(nsec) {
+			return nil, fmt.Errorf("container: directory entry %d out of range", v)
+		}
+		r.order[i] = uint32(v)
+		off += n
+	}
+	for s := uint32(0); s < nsec; s++ {
+		length, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("container: corrupt section length at %d", off)
+		}
+		off += n
+		if uint64(len(buf)-off) < length {
+			return nil, fmt.Errorf("container: truncated section %d", s)
+		}
+		br, err := core.NewBlockReader(buf[off : off+int(length)])
+		if err != nil {
+			return nil, fmt.Errorf("container: section %d: %w", s, err)
+		}
+		r.sections = append(r.sections, br)
+		off += int(length)
+	}
+	r.cursor = make([]int, nsec)
+	// Validate directory against section contents.
+	counts := make([]int, nsec)
+	for _, s := range r.order {
+		counts[s]++
+	}
+	for s, br := range r.sections {
+		if br.NumBlocks() != counts[s] {
+			return nil, fmt.Errorf("container: section %d holds %d blocks, directory says %d",
+				s, br.NumBlocks(), counts[s])
+		}
+	}
+	return r, nil
+}
+
+// Blocks returns the total block count.
+func (r *Reader) Blocks() int { return len(r.order) }
+
+// GeometryOf returns the geometry of block i (original order).
+func (r *Reader) GeometryOf(i int) (Geometry, error) {
+	if i < 0 || i >= len(r.order) {
+		return Geometry{}, fmt.Errorf("container: block %d out of range", i)
+	}
+	cfg := r.sections[r.order[i]].Config()
+	return Geometry{NumSB: cfg.NumSB, SBSize: cfg.SBSize}, nil
+}
+
+// Next decompresses the next block in original order, returning the
+// block values and geometry. After the last block it returns nil data.
+func (r *Reader) Next() ([]float64, Geometry, error) {
+	if r.consumed >= len(r.order) {
+		return nil, Geometry{}, nil
+	}
+	s := r.order[r.consumed]
+	br := r.sections[s]
+	cfg := br.Config()
+	dst := make([]float64, cfg.BlockSize())
+	if err := br.ReadBlock(r.cursor[s], dst); err != nil {
+		return nil, Geometry{}, err
+	}
+	r.cursor[s]++
+	r.consumed++
+	return dst, Geometry{NumSB: cfg.NumSB, SBSize: cfg.SBSize}, nil
+}
+
+// Reset rewinds sequential replay.
+func (r *Reader) Reset() {
+	for i := range r.cursor {
+		r.cursor[i] = 0
+	}
+	r.consumed = 0
+}

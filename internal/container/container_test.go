@@ -1,0 +1,162 @@
+package container
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func patterned(rng *rand.Rand, g Geometry, amp float64) []float64 {
+	shape := make([]float64, g.SBSize)
+	for i := range shape {
+		shape[i] = rng.NormFloat64() * amp
+	}
+	out := make([]float64, 0, g.BlockSize())
+	for s := 0; s < g.NumSB; s++ {
+		sc := rng.Float64()*2 - 1
+		for i := 0; i < g.SBSize; i++ {
+			out = append(out, sc*shape[i]+amp*1e-5*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func TestMixedGeometryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	base := core.Defaults(1, 1, 1e-10)
+	w, err := NewWriter(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's hybrid shapes: (dd|dd), (df|fd), (ff|ff), (fd|ff)...
+	geos := []Geometry{
+		{36, 36},   // (dd|dd)
+		{60, 60},   // (df|df)
+		{100, 100}, // (ff|ff)
+		{60, 100},  // (fd|ff)
+	}
+	var want [][]float64
+	var wantG []Geometry
+	for i := 0; i < 40; i++ {
+		g := geos[rng.Intn(len(geos))]
+		blk := patterned(rng, g, math.Pow(10, float64(rng.Intn(6)-9)))
+		if err := w.WriteBlock(g, blk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, blk)
+		wantG = append(wantG, g)
+	}
+	if w.Blocks() != 40 {
+		t.Fatalf("Blocks = %d", w.Blocks())
+	}
+	if w.Sections() < 2 || w.Sections() > 4 {
+		t.Fatalf("Sections = %d", w.Sections())
+	}
+	buf, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 40 {
+		t.Fatalf("reader Blocks = %d", r.Blocks())
+	}
+	for i := range want {
+		g, err := r.GeometryOf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != wantG[i] {
+			t.Fatalf("block %d geometry %v, want %v", i, g, wantG[i])
+		}
+		data, g2, err := r.Next()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if g2 != wantG[i] {
+			t.Fatalf("block %d replay geometry %v", i, g2)
+		}
+		for j := range data {
+			if math.Abs(data[j]-want[i][j]) > 1e-10*(1+1e-9) {
+				t.Fatalf("block %d point %d out of bound", i, j)
+			}
+		}
+	}
+	// End of stream.
+	data, _, err := r.Next()
+	if err != nil || data != nil {
+		t.Fatalf("expected end of stream, got %v, %v", data, err)
+	}
+	// Reset replays from the start.
+	r.Reset()
+	data, g, err := r.Next()
+	if err != nil || g != wantG[0] {
+		t.Fatalf("after Reset: %v, %v", g, err)
+	}
+	for j := range data {
+		if math.Abs(data[j]-want[0][j]) > 1e-10*(1+1e-9) {
+			t.Fatal("Reset replay mismatch")
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(core.Config{}); err == nil {
+		t.Error("invalid base config accepted")
+	}
+	w, err := NewWriter(core.Defaults(1, 1, 1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(Geometry{0, 5}, nil); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if err := w.WriteBlock(Geometry{2, 2}, make([]float64, 3)); err == nil {
+		t.Error("wrong block size accepted")
+	}
+}
+
+func TestReaderCorruption(t *testing.T) {
+	w, _ := NewWriter(core.Defaults(1, 1, 1e-10))
+	_ = w.WriteBlock(Geometry{2, 2}, make([]float64, 4))
+	buf, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), buf[4:]...),
+		"short":     buf[:10],
+		"truncated": buf[:len(buf)-2],
+		"version":   append(append([]byte{}, buf[:4]...), append([]byte{9}, buf[5:]...)...),
+	}
+	for name, c := range cases {
+		if _, err := NewReader(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := NewReader(buf); err != nil {
+		t.Fatalf("valid container rejected: %v", err)
+	}
+}
+
+func TestGeometryOfBounds(t *testing.T) {
+	w, _ := NewWriter(core.Defaults(1, 1, 1e-10))
+	_ = w.WriteBlock(Geometry{2, 2}, make([]float64, 4))
+	buf, _ := w.Bytes()
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GeometryOf(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := r.GeometryOf(1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

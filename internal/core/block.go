@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/encoding"
+	"repro/internal/pattern"
+	"repro/internal/quant"
+)
+
+// Block bitstream layout (all fields bit-packed, MSB first):
+//
+//	Pb      6 bits   pattern/scale bit width − 1   (1..64)
+//	ECbMax  6 bits   widest ECQ bin (1 ⇒ Type-0 block, no ECQ section)
+//	PQ      SBSize × Pb bits (two's complement)
+//	SQ      NumSB  × Pb bits (two's complement; S_b = P_b, Sec. IV-B)
+//	[if ECbMax > 1]
+//	  sparse 1 bit
+//	  ECQ    dense: tree-coded; sparse: count + (index,value) pairs
+//
+// Everything else (EB, geometry, metric, encoding method) lives in the
+// stream header; a block is decodable given the Config alone, which is
+// what makes blocks independently (de)compressible in parallel.
+
+const (
+	pbFieldBits     = 6
+	ecbMaxFieldBits = 6
+)
+
+// BlockEncoder compresses blocks one at a time, reusing scratch buffers.
+// It is not safe for concurrent use; stream compression creates one per
+// worker.
+type BlockEncoder struct {
+	cfg Config
+	// scratch
+	pq    []int64
+	sq    []int64
+	ecq   []int64
+	pHat  []float64
+	stats *Stats // optional, may be nil
+}
+
+// NewBlockEncoder returns an encoder for the given configuration.
+func NewBlockEncoder(cfg Config) (*BlockEncoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BlockEncoder{
+		cfg: cfg,
+		pq:  make([]int64, cfg.SBSize),
+		sq:  make([]int64, cfg.NumSB),
+		ecq: make([]int64, cfg.BlockSize()),
+	}, nil
+}
+
+// CollectStats attaches a Stats sink; pass nil to detach.
+func (e *BlockEncoder) CollectStats(s *Stats) { e.stats = s }
+
+// analyze runs the pattern-scaling and quantization stages
+// (Sec. IV-A/IV-B), filling the scratch buffers pq, sq and ecq, and
+// returns the pattern/scale bit width P_b and the widest ECQ bin.
+func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
+	cfg := e.cfg
+	if len(block) != cfg.BlockSize() {
+		return 0, 0, fmt.Errorf("core: block has %d points, config wants %d", len(block), cfg.BlockSize())
+	}
+	// 1. Pattern analysis (Sec. IV-A).
+	res, err := pattern.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
+	if err != nil {
+		return 0, 0, err
+	}
+	pat := block[res.PatternIndex*cfg.SBSize : (res.PatternIndex+1)*cfg.SBSize]
+
+	// 2. Quantize the pattern with Pbinsize = 2·EB (Sec. IV-B practical
+	// method) and the scales with S_b = P_b.
+	eb := cfg.ErrorBound
+	pBin := 2 * eb
+	pExt, _ := quant.MaxAbs(pat)
+	pb = quant.PatternBits(pExt, eb)
+	if pb > 64 {
+		return 0, 0, fmt.Errorf("core: pattern extremum %g needs %d bits at EB %g", pExt, pb, eb)
+	}
+	sb := pb
+	sBin := quant.ScaleBinSize(sb)
+	for i, p := range pat {
+		e.pq[i] = quant.ClampSigned(quant.Quantize(p, pBin), pb)
+	}
+	for s, sc := range res.Scales {
+		e.sq[s] = quant.ClampSigned(quant.Quantize(sc, sBin), sb)
+	}
+
+	// 3. Error correction against the *reconstructed* scaled pattern, so
+	// the EC term absorbs the quantization error of P and S (eq. (11)).
+	// The reconstructed pattern is hoisted out of the sub-block loop.
+	if cap(e.pHat) < cfg.SBSize {
+		e.pHat = make([]float64, cfg.SBSize)
+	}
+	pHat := e.pHat[:cfg.SBSize]
+	for i := range pHat {
+		pHat[i] = quant.Dequantize(e.pq[i], pBin)
+	}
+	ecBin := 2 * eb
+	ecbMax = 1
+	for s := 0; s < cfg.NumSB; s++ {
+		sHat := quant.Dequantize(e.sq[s], sBin)
+		base := s * cfg.SBSize
+		for i := 0; i < cfg.SBSize; i++ {
+			ec := block[base+i] - sHat*pHat[i]
+			q := quant.Quantize(ec, ecBin)
+			e.ecq[base+i] = q
+			if b := quant.BitsForValue(q); b > ecbMax {
+				ecbMax = b
+			}
+		}
+	}
+	if ecbMax > 63 {
+		return 0, 0, fmt.Errorf("core: ECQ needs %d bits; data range too wide for EB %g", ecbMax, eb)
+	}
+	return pb, ecbMax, nil
+}
+
+// ECQCodes exposes the quantized error-correction values and the widest
+// bin a block would produce under this configuration — the raw material
+// of the encoder-design analyses (Fig. 6 histograms, the Huffman
+// comparison of Sec. IV-C). The returned slice is a copy.
+func (e *BlockEncoder) ECQCodes(block []float64) ([]int64, uint, error) {
+	_, ecbMax, err := e.analyze(block)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int64(nil), e.ecq...), ecbMax, nil
+}
+
+// EncodeBlock appends the compressed representation of block to w.
+// len(block) must equal cfg.BlockSize().
+func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
+	cfg := e.cfg
+	startBits := w.BitLen()
+	pb, ecbMax, err := e.analyze(block)
+	if err != nil {
+		return err
+	}
+
+	// 4. Emit header fields.
+	w.WriteBits(uint64(pb-1), pbFieldBits)
+	w.WriteBits(uint64(ecbMax), ecbMaxFieldBits)
+
+	// 5. Emit PQ and SQ fixed-length.
+	for _, q := range e.pq {
+		w.WriteSigned(q, pb)
+	}
+	sqStart := w.BitLen()
+	for _, q := range e.sq {
+		w.WriteSigned(q, pb) // S_b = P_b (Sec. IV-B)
+	}
+	ecqStart := w.BitLen()
+
+	// 6. Emit ECQ: Type-0 blocks (all quanta zero) spend no bits at all;
+	// otherwise pick sparse or dense representation by exact cost.
+	usedSparse := false
+	if ecbMax > 1 {
+		idxBits := encoding.IndexBits(cfg.BlockSize())
+		countBits := encoding.IndexBits(cfg.BlockSize() + 1)
+		dense := encoding.CostBits(e.ecq, ecbMax, cfg.Encoding)
+		sparse := encoding.SparseCostBits(e.ecq, ecbMax, idxBits, countBits)
+		if !cfg.DisableSparse && sparse < dense {
+			usedSparse = true
+			w.WriteBit(1)
+			encoding.EncodeSparse(w, e.ecq, ecbMax, idxBits, countBits)
+		} else {
+			w.WriteBit(0)
+			encoding.Encode(w, e.ecq, ecbMax, cfg.Encoding)
+		}
+	}
+
+	if e.stats != nil {
+		e.stats.recordBlock(e.ecq, ecbMax,
+			sqStart-startBits-uint64(pbFieldBits+ecbMaxFieldBits), // PQ bits
+			ecqStart-sqStart,    // SQ bits
+			w.BitLen()-ecqStart, // ECQ bits
+			uint64(pbFieldBits+ecbMaxFieldBits), usedSparse)
+	}
+	return nil
+}
+
+// BlockDecoder decompresses blocks, reusing scratch buffers. Not safe for
+// concurrent use.
+type BlockDecoder struct {
+	cfg  Config
+	pq   []int64
+	sq   []int64
+	ecq  []int64
+	pHat []float64
+}
+
+// NewBlockDecoder returns a decoder for the given configuration.
+func NewBlockDecoder(cfg Config) (*BlockDecoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BlockDecoder{
+		cfg: cfg,
+		pq:  make([]int64, cfg.SBSize),
+		sq:  make([]int64, cfg.NumSB),
+		ecq: make([]int64, cfg.BlockSize()),
+	}, nil
+}
+
+// DecodeBlock reads one block from r into dst, which must have
+// cfg.BlockSize() elements.
+func (d *BlockDecoder) DecodeBlock(r *bitio.Reader, dst []float64) error {
+	cfg := d.cfg
+	if len(dst) != cfg.BlockSize() {
+		return fmt.Errorf("core: dst has %d points, config wants %d", len(dst), cfg.BlockSize())
+	}
+	pbRaw, err := r.ReadBits(pbFieldBits)
+	if err != nil {
+		return err
+	}
+	pb := uint(pbRaw) + 1
+	ecbRaw, err := r.ReadBits(ecbMaxFieldBits)
+	if err != nil {
+		return err
+	}
+	ecbMax := uint(ecbRaw)
+	if ecbMax == 0 || ecbMax > 63 {
+		return fmt.Errorf("core: corrupt block header: ECbMax=%d", ecbMax)
+	}
+
+	for i := range d.pq {
+		q, err := r.ReadSigned(pb)
+		if err != nil {
+			return err
+		}
+		d.pq[i] = q
+	}
+	sb := pb
+	for s := range d.sq {
+		q, err := r.ReadSigned(sb)
+		if err != nil {
+			return err
+		}
+		d.sq[s] = q
+	}
+	if ecbMax > 1 {
+		sparse, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		idxBits := encoding.IndexBits(cfg.BlockSize())
+		countBits := encoding.IndexBits(cfg.BlockSize() + 1)
+		if sparse == 1 {
+			if err := encoding.DecodeSparse(r, d.ecq, ecbMax, idxBits, countBits); err != nil {
+				return err
+			}
+		} else {
+			if err := encoding.Decode(r, d.ecq, ecbMax, cfg.Encoding); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := range d.ecq {
+			d.ecq[i] = 0
+		}
+	}
+
+	eb := cfg.ErrorBound
+	pBin := 2 * eb
+	sBin := quant.ScaleBinSize(sb)
+	ecBin := 2 * eb
+	if cap(d.pHat) < cfg.SBSize {
+		d.pHat = make([]float64, cfg.SBSize)
+	}
+	pHat := d.pHat[:cfg.SBSize]
+	for i := range pHat {
+		pHat[i] = quant.Dequantize(d.pq[i], pBin)
+	}
+	for s := 0; s < cfg.NumSB; s++ {
+		sHat := quant.Dequantize(d.sq[s], sBin)
+		base := s * cfg.SBSize
+		for i := 0; i < cfg.SBSize; i++ {
+			dst[base+i] = sHat*pHat[i] + quant.Dequantize(d.ecq[base+i], ecBin)
+		}
+	}
+	return nil
+}
+
+// MaxBlockError returns the worst-case reconstruction error the codec can
+// introduce for the given configuration: exactly EB (up to floating-point
+// rounding in the reconstruction arithmetic).
+func MaxBlockError(cfg Config) float64 {
+	// One mid-tread quantization of the EC residual with bin 2·EB.
+	return cfg.ErrorBound * (1 + 4*math.Nextafter(1, 2) - 4)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: decoders must reject arbitrary or mutated inputs with
+// errors, never panics or runaway allocations. `go test` exercises the
+// seed corpus; `go test -fuzz=FuzzDecompress` explores further.
+
+func seedStream(t interface{ Fatal(...any) }) []byte {
+	cfg := Defaults(4, 9, 1e-9)
+	data := make([]float64, 2*cfg.BlockSize())
+	for i := range data {
+		data[i] = math.Sin(float64(i)) * 1e-6
+	}
+	comp, err := Compress(data, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func FuzzDecompress(f *testing.F) {
+	comp := seedStream(f)
+	f.Add(comp)
+	f.Add(comp[:len(comp)/2])
+	f.Add([]byte{})
+	f.Add([]byte("PSTR"))
+	// Bit-flipped variants.
+	for _, pos := range []int{4, 8, 17, 25, 33, len(comp) - 1} {
+		m := append([]byte(nil), comp...)
+		m[pos] ^= 0x40
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out, err := Decompress(b, 1)
+		if err == nil {
+			// Whatever decoded must be internally consistent.
+			cfg, _, _, err2 := ParseHeader(b)
+			if err2 != nil {
+				t.Fatalf("Decompress succeeded but ParseHeader failed: %v", err2)
+			}
+			if len(out)%cfg.BlockSize() != 0 {
+				t.Fatalf("output %d not a whole number of blocks", len(out))
+			}
+		}
+	})
+}
+
+func FuzzBlockReader(f *testing.F) {
+	comp := seedStream(f)
+	f.Add(comp, 0)
+	f.Add(comp, 1)
+	f.Add(comp[:20], 0)
+	f.Fuzz(func(t *testing.T, b []byte, idx int) {
+		br, err := NewBlockReader(b)
+		if err != nil {
+			return
+		}
+		dst := make([]float64, br.Config().BlockSize())
+		_ = br.ReadBlock(idx%max(br.NumBlocks(), 1), dst)
+	})
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+)
+
+// blockSpan locates one block's payload inside a compressed stream.
+type blockSpan struct{ lo, hi int }
+
+// scanSpansUnknown walks length prefixes until the buffer is exhausted
+// (streamed files record no block count).
+func scanSpansUnknown(comp []byte, off int) ([]blockSpan, error) {
+	var spans []blockSpan
+	for off < len(comp) {
+		plen, n := binary.Uvarint(comp[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: corrupt block length at offset %d", off)
+		}
+		off += n
+		if uint64(len(comp)-off) < plen {
+			return nil, fmt.Errorf("core: truncated block %d (want %d bytes, have %d)",
+				len(spans), plen, len(comp)-off)
+		}
+		spans = append(spans, blockSpan{off, off + int(plen)})
+		off += int(plen)
+	}
+	return spans, nil
+}
+
+// resolveSpans handles both exact-count and streamed (sentinel) files.
+func resolveSpans(comp []byte, nblocks uint64, off int) ([]blockSpan, error) {
+	if nblocks == streamingCount {
+		return scanSpansUnknown(comp, off)
+	}
+	return scanSpans(comp, nblocks, off)
+}
+
+// scanSpans walks the per-block uvarint length prefixes.
+func scanSpans(comp []byte, nblocks uint64, off int) ([]blockSpan, error) {
+	// Every block needs at least its 1-byte length prefix; a corrupt
+	// header must not drive a giant allocation.
+	if nblocks > uint64(len(comp)-off) {
+		return nil, fmt.Errorf("core: header claims %d blocks but only %d bytes follow",
+			nblocks, len(comp)-off)
+	}
+	spans := make([]blockSpan, nblocks)
+	for b := uint64(0); b < nblocks; b++ {
+		plen, n := binary.Uvarint(comp[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: corrupt block length at offset %d", off)
+		}
+		off += n
+		if uint64(len(comp)-off) < plen {
+			return nil, fmt.Errorf("core: truncated block %d (want %d bytes, have %d)", b, plen, len(comp)-off)
+		}
+		spans[b] = blockSpan{off, off + int(plen)}
+		off += int(plen)
+	}
+	return spans, nil
+}
+
+// BlockReader provides random access to individual blocks of a
+// compressed stream without decompressing the rest — possible because
+// every PaSTRI block is self-contained (Sec. IV-C). It is not safe for
+// concurrent use; create one per goroutine (they can share the same
+// underlying stream bytes).
+type BlockReader struct {
+	cfg    Config
+	spans  []blockSpan
+	comp   []byte
+	dec    *BlockDecoder
+	reader *bitio.Reader
+}
+
+// NewBlockReader indexes a compressed stream for random access. The
+// stream bytes are retained (not copied).
+func NewBlockReader(comp []byte) (*BlockReader, error) {
+	cfg, nblocks, off, err := ParseHeader(comp)
+	if err != nil {
+		return nil, err
+	}
+	if nblocks != streamingCount && nblocks > uint64(math.MaxInt64)/uint64(cfg.BlockSize()) {
+		return nil, fmt.Errorf("core: implausible block count %d", nblocks)
+	}
+	spans, err := resolveSpans(comp, nblocks, off)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewBlockDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockReader{
+		cfg:    cfg,
+		spans:  spans,
+		comp:   comp,
+		dec:    dec,
+		reader: bitio.NewReader(nil),
+	}, nil
+}
+
+// Config returns the stream's compression configuration.
+func (r *BlockReader) Config() Config { return r.cfg }
+
+// NumBlocks returns the number of blocks in the stream.
+func (r *BlockReader) NumBlocks() int { return len(r.spans) }
+
+// ReadBlock decompresses block b into dst, which must have
+// Config().BlockSize() elements.
+func (r *BlockReader) ReadBlock(b int, dst []float64) error {
+	if b < 0 || b >= len(r.spans) {
+		return fmt.Errorf("core: block index %d out of range [0, %d)", b, len(r.spans))
+	}
+	r.reader.Reset(r.comp[r.spans[b].lo:r.spans[b].hi])
+	if err := r.dec.DecodeBlock(r.reader, dst); err != nil {
+		return fmt.Errorf("core: block %d: %w", b, err)
+	}
+	return nil
+}
+
+// CompressedBlockBytes returns the compressed size of block b, for
+// storage accounting.
+func (r *BlockReader) CompressedBlockBytes(b int) int {
+	return r.spans[b].hi - r.spans[b].lo
+}

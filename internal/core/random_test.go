@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBlockReaderRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := Defaults(6, 36, 1e-10)
+	const nblocks = 23
+	data := make([]float64, 0, nblocks*cfg.BlockSize())
+	for b := 0; b < nblocks; b++ {
+		amp := math.Pow(10, float64(rng.Intn(8)-10))
+		data = append(data, patternedBlock(rng, 6, 36, amp, amp*1e-4, 0.02)...)
+	}
+	comp, err := Compress(data, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.NumBlocks() != nblocks {
+		t.Fatalf("NumBlocks = %d, want %d", br.NumBlocks(), nblocks)
+	}
+	if br.Config().BlockSize() != cfg.BlockSize() {
+		t.Fatalf("BlockSize = %d", br.Config().BlockSize())
+	}
+	dst := make([]float64, cfg.BlockSize())
+	// Access blocks in random order, repeatedly.
+	for trial := 0; trial < 100; trial++ {
+		b := rng.Intn(nblocks)
+		if err := br.ReadBlock(b, dst); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		base := b * cfg.BlockSize()
+		for i, v := range dst {
+			if math.Abs(v-data[base+i]) > cfg.ErrorBound*(1+1e-9) {
+				t.Fatalf("block %d point %d: error %g", b, i, math.Abs(v-data[base+i]))
+			}
+		}
+	}
+	// Compressed sizes must sum to less than the stream length.
+	total := 0
+	for b := 0; b < nblocks; b++ {
+		if sz := br.CompressedBlockBytes(b); sz <= 0 {
+			t.Fatalf("block %d compressed size %d", b, sz)
+		} else {
+			total += sz
+		}
+	}
+	if total >= len(comp) {
+		t.Fatalf("payload bytes %d not less than stream %d", total, len(comp))
+	}
+}
+
+func TestBlockReaderBounds(t *testing.T) {
+	cfg := Defaults(2, 2, 1e-10)
+	comp, err := Compress(make([]float64, 8), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4)
+	if err := br.ReadBlock(-1, dst); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := br.ReadBlock(2, dst); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := br.ReadBlock(0, make([]float64, 3)); err == nil {
+		t.Error("wrong dst size accepted")
+	}
+}
+
+func TestBlockReaderCorruptStream(t *testing.T) {
+	if _, err := NewBlockReader([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	cfg := Defaults(2, 2, 1e-10)
+	comp, err := Compress(make([]float64, 8), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBlockReader(comp[:len(comp)-1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

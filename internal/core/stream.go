@@ -1,0 +1,288 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/encoding"
+	"repro/internal/pattern"
+)
+
+// Stream format
+//
+//	magic    [4]byte  "PSTR"
+//	version  uint8    1
+//	metric   uint8
+//	encoding uint8
+//	flags    uint8    bit0 = sparse disabled
+//	eb       float64  (IEEE-754 bits, little endian)
+//	numSB    uint32
+//	sbSize   uint32
+//	nblocks  uint64
+//	blocks   nblocks × { uvarint payloadLen; payload }
+//
+// Each block payload is byte-aligned and self-contained, so blocks can be
+// compressed and decompressed fully independently — the property the
+// paper highlights for parallel execution (Sec. IV-C).
+
+var streamMagic = [4]byte{'P', 'S', 'T', 'R'}
+
+const streamVersion = 1
+
+// headerSize is the fixed-size portion of the stream header in bytes.
+const headerSize = 4 + 1 + 1 + 1 + 1 + 8 + 4 + 4 + 8
+
+// Compress compresses data (a whole number of blocks) under cfg,
+// fanning blocks out over cfg.Workers goroutines. If stats is non-nil it
+// receives the merged per-block statistics.
+func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bs := cfg.BlockSize()
+	if len(data)%bs != 0 {
+		return nil, fmt.Errorf("core: data length %d is not a multiple of block size %d", len(data), bs)
+	}
+	nblocks := len(data) / bs
+
+	// Compress every block independently.
+	payloads := make([][]byte, nblocks)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nblocks {
+		workers = nblocks
+	}
+	if workers <= 1 {
+		enc, err := NewBlockEncoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		enc.CollectStats(stats)
+		w := bitio.NewWriter(bs)
+		for b := 0; b < nblocks; b++ {
+			w.Reset()
+			if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
+				return nil, err
+			}
+			payloads[b] = append([]byte(nil), w.Bytes()...)
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		next := make(chan int, nblocks)
+		for b := 0; b < nblocks; b++ {
+			next <- b
+		}
+		close(next)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				enc, err := NewBlockEncoder(cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				var local *Stats
+				if stats != nil {
+					local = NewStats()
+					enc.CollectStats(local)
+				}
+				w := bitio.NewWriter(bs)
+				for b := range next {
+					w.Reset()
+					if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					payloads[b] = append([]byte(nil), w.Bytes()...)
+				}
+				if local != nil {
+					mu.Lock()
+					stats.Merge(local)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	// Assemble the stream.
+	total := headerSize
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, p := range payloads {
+		total += binary.PutUvarint(lenBuf[:], uint64(len(p))) + len(p)
+	}
+	out := make([]byte, 0, total)
+	out = appendHeader(out, cfg, uint64(nblocks))
+	for _, p := range payloads {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		out = append(out, lenBuf[:n]...)
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+func appendHeader(dst []byte, cfg Config, nblocks uint64) []byte {
+	dst = append(dst, streamMagic[:]...)
+	dst = append(dst, streamVersion, byte(cfg.Metric), byte(cfg.Encoding), flagsByte(cfg))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(cfg.ErrorBound))
+	dst = append(dst, b8[:]...)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(cfg.NumSB))
+	dst = append(dst, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(cfg.SBSize))
+	dst = append(dst, b4[:]...)
+	binary.LittleEndian.PutUint64(b8[:], nblocks)
+	dst = append(dst, b8[:]...)
+	return dst
+}
+
+func flagsByte(cfg Config) byte {
+	var f byte
+	if cfg.DisableSparse {
+		f |= 1
+	}
+	return f
+}
+
+// ParseHeader recovers the Config and block count from a compressed
+// stream, returning also the offset at which block payloads begin. For
+// a streamed file (NewStreamWriter) the count is the streaming
+// sentinel; ResolveBlockCount turns it into the real count.
+func ParseHeader(comp []byte) (Config, uint64, int, error) {
+	return parseHeaderBytes(comp)
+}
+
+func parseHeaderBytes(comp []byte) (Config, uint64, int, error) {
+	if len(comp) < headerSize {
+		return Config{}, 0, 0, fmt.Errorf("core: stream too short (%d bytes)", len(comp))
+	}
+	if [4]byte(comp[:4]) != streamMagic {
+		return Config{}, 0, 0, fmt.Errorf("core: bad magic %q", comp[:4])
+	}
+	if comp[4] != streamVersion {
+		return Config{}, 0, 0, fmt.Errorf("core: unsupported version %d", comp[4])
+	}
+	cfg := Config{
+		Metric:        metricFromByte(comp[5]),
+		Encoding:      encodingFromByte(comp[6]),
+		DisableSparse: comp[7]&1 != 0,
+		ErrorBound:    math.Float64frombits(binary.LittleEndian.Uint64(comp[8:16])),
+		NumSB:         int(binary.LittleEndian.Uint32(comp[16:20])),
+		SBSize:        int(binary.LittleEndian.Uint32(comp[20:24])),
+	}
+	nblocks := binary.LittleEndian.Uint64(comp[24:32])
+	if err := cfg.Validate(); err != nil {
+		return Config{}, 0, 0, fmt.Errorf("core: corrupt header: %w", err)
+	}
+	return cfg, nblocks, headerSize, nil
+}
+
+// Decompress reconstructs the original data from a compressed stream,
+// fanning blocks out over workers goroutines (0 ⇒ GOMAXPROCS).
+func Decompress(comp []byte, workers int) ([]float64, error) {
+	cfg, nblocks, off, err := ParseHeader(comp)
+	if err != nil {
+		return nil, err
+	}
+	bs := cfg.BlockSize()
+	if nblocks != streamingCount && nblocks > uint64(math.MaxInt64)/uint64(bs) {
+		return nil, fmt.Errorf("core: implausible block count %d", nblocks)
+	}
+	// Slice out per-block payloads first (sequential scan over varints).
+	spans, err := resolveSpans(comp, nblocks, off)
+	if err != nil {
+		return nil, err
+	}
+	nblocks = uint64(len(spans))
+	out := make([]float64, int(nblocks)*bs)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > int(nblocks) {
+		workers = int(nblocks)
+	}
+	if workers <= 1 {
+		dec, err := NewBlockDecoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r := bitio.NewReader(nil)
+		for b := range spans {
+			r.Reset(comp[spans[b].lo:spans[b].hi])
+			if err := dec.DecodeBlock(r, out[b*bs:(b+1)*bs]); err != nil {
+				return nil, fmt.Errorf("core: block %d: %w", b, err)
+			}
+		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, len(spans))
+	for b := range spans {
+		next <- b
+	}
+	close(next)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec, err := NewBlockDecoder(cfg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			r := bitio.NewReader(nil)
+			for b := range next {
+				r.Reset(comp[spans[b].lo:spans[b].hi])
+				if err := dec.DecodeBlock(r, out[b*bs:(b+1)*bs]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: block %d: %w", b, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func metricFromByte(b byte) pattern.Metric    { return pattern.Metric(b) }
+func encodingFromByte(b byte) encoding.Method { return encoding.Method(b) }

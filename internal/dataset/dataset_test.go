@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/eri"
+)
+
+func TestPaperMolecules(t *testing.T) {
+	for _, name := range Names {
+		mol, err := PaperMolecule(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(mol.HeavyAtoms()) < 50 {
+			t.Errorf("%s: only %d heavy atoms — cluster missing?", name, len(mol.HeavyAtoms()))
+		}
+	}
+	if _, err := PaperMolecule("unobtainium"); err == nil {
+		t.Error("unknown molecule accepted")
+	}
+}
+
+// Cluster copies must stay at van-der-Waals contact: no inter-copy atom
+// pair closer than ~2.0 Å (collisions would make the ERI stream
+// unphysical).
+func TestClusterPackingPhysical(t *testing.T) {
+	sizes := map[string]int{"alanine": 33, "benzene": 12, "glutamine": 20}
+	for _, name := range Names {
+		mol, err := PaperMolecule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copySize := sizes[name]
+		minGap := math.Inf(1)
+		for i := 0; i < len(mol.Atoms); i++ {
+			for j := i + 1; j < len(mol.Atoms); j++ {
+				if i/copySize == j/copySize {
+					continue
+				}
+				d := mol.Atoms[i].Pos.Sub(mol.Atoms[j].Pos).Norm() / basis.AngstromToBohr
+				if d < minGap {
+					minGap = d
+				}
+			}
+		}
+		if minGap < 2.0 {
+			t.Errorf("%s: inter-copy gap %.2f Å < 2.0", name, minGap)
+		}
+		if minGap > 6.0 {
+			t.Errorf("%s: inter-copy gap %.2f Å — packing too loose to be condensed-phase-like", name, minGap)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Molecule: "benzene", L: 2}
+	if got := s.String(); got != "benzene,(dd|dd)" {
+		t.Fatalf("String = %q", got)
+	}
+	s.L = 3
+	if got := s.String(); got != "benzene,(ff|ff)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestGetCachesAndRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is seconds-long")
+	}
+	spec := Spec{Molecule: "benzene", L: 2, MaxBlocks: 40}
+	ds1, err := Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.Blocks != 40 || ds1.NumSB != 36 || ds1.SBSize != 36 {
+		t.Fatalf("unexpected geometry: %d blocks %dx%d", ds1.Blocks, ds1.NumSB, ds1.SBSize)
+	}
+	// Second Get must hit the in-memory cache (same pointer).
+	ds2, err := Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1 != ds2 {
+		t.Fatal("in-memory cache miss")
+	}
+	// Drop the in-memory cache but keep disk; data must round-trip
+	// bit-exactly through the file format.
+	memMu.Lock()
+	memory = map[string]*eri.Dataset{}
+	memMu.Unlock()
+	ds3, err := Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3 == ds1 {
+		t.Fatal("expected a fresh load, got the old pointer")
+	}
+	if ds3.Name != ds1.Name || ds3.Blocks != ds1.Blocks ||
+		ds3.NumSB != ds1.NumSB || ds3.SBSize != ds1.SBSize {
+		t.Fatalf("metadata mismatch after disk round trip: %+v vs %+v", ds3, ds1)
+	}
+	for i := range ds1.Data {
+		if math.Float64bits(ds3.Data[i]) != math.Float64bits(ds1.Data[i]) {
+			t.Fatalf("data[%d] not bit-exact after disk round trip", i)
+		}
+	}
+}
+
+func TestLoadCacheRejectsCorrupt(t *testing.T) {
+	if _, err := loadCache("no-such-key"); err == nil {
+		t.Error("missing cache file accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package eri
+
+import (
+	"testing"
+
+	"repro/internal/basis"
+)
+
+// BenchmarkQuartet measures the integral engine on the quartet shapes
+// of the paper's datasets.
+func BenchmarkQuartet(b *testing.B) {
+	centers := []basis.Vec3{{0, 0, 0}, {2.5, 0.4, -0.3}, {-1.1, 2.0, 0.8}, {0.9, -1.7, 2.2}}
+	for _, l := range []int{0, 1, 2, 3} {
+		name := basis.ShellLetter(l)
+		b.Run("("+name+name+"|"+name+name+")", func(b *testing.B) {
+			shells := make([]*PreparedShell, 4)
+			for i := range shells {
+				shells[i] = Prepare(basis.Shell{
+					Center: centers[i], L: l,
+					Exps: []float64{0.6 + 0.1*float64(i)}, Coefs: []float64{1},
+				})
+			}
+			en := NewEngine(l)
+			out := make([]float64, BlockSize(shells[0], shells[1], shells[2], shells[3]))
+			b.SetBytes(int64(len(out) * 8))
+			for i := 0; i < b.N; i++ {
+				en.Quartet(shells[0], shells[1], shells[2], shells[3], out)
+			}
+		})
+	}
+}
+
+func BenchmarkBoys(b *testing.B) {
+	var out [maxBoysOrder + 1]float64
+	b.Run("series", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Boys(12, 7.5, out[:])
+		}
+	})
+	b.Run("asymptotic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Boys(12, 80, out[:])
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package eri
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// numericalBoys integrates F_m(T) = ∫₀¹ t^(2m) e^(−T t²) dt by composite
+// Simpson with enough points for ~1e-13 accuracy.
+func numericalBoys(m int, T float64) float64 {
+	const n = 20000 // even
+	h := 1.0 / n
+	f := func(t float64) float64 { return math.Pow(t, float64(2*m)) * math.Exp(-T*t*t) }
+	sum := f(0) + f(1)
+	for i := 1; i < n; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+func TestBoysAtZero(t *testing.T) {
+	var out [maxBoysOrder + 1]float64
+	Boys(maxBoysOrder, 0, out[:])
+	for m := 0; m <= maxBoysOrder; m++ {
+		want := 1 / float64(2*m+1)
+		if math.Abs(out[m]-want) > 1e-15 {
+			t.Errorf("F_%d(0) = %.17g, want %.17g", m, out[m], want)
+		}
+	}
+}
+
+func TestBoysVsNumerical(t *testing.T) {
+	for _, T := range []float64{1e-8, 0.001, 0.1, 1, 3.5, 10, 25, 32.9, 33.1, 40, 80, 200} {
+		for _, m := range []int{0, 1, 2, 5, 8, 12, 16} {
+			got := BoysSingle(m, T)
+			want := numericalBoys(m, T)
+			tol := math.Max(1e-14, want*1e-9)
+			if math.Abs(got-want) > tol {
+				t.Errorf("F_%d(%g) = %.15g, want %.15g (diff %g)", m, T, got, want, got-want)
+			}
+		}
+	}
+}
+
+func TestBoysF0ClosedForm(t *testing.T) {
+	// F₀(T) = ½√(π/T)·erf(√T).
+	for _, T := range []float64{0.5, 2, 10, 33, 50, 100} {
+		want := 0.5 * math.Sqrt(math.Pi/T) * math.Erf(math.Sqrt(T))
+		got := BoysSingle(0, T)
+		if math.Abs(got-want) > 1e-14*want {
+			t.Errorf("F_0(%g) = %.16g, want %.16g", T, got, want)
+		}
+	}
+}
+
+// Property: the downward/upward recursion identity
+// F_{n}(T) = (2T·F_{n+1}(T) + e^(−T))/(2n+1) holds for the whole table.
+func TestQuickBoysRecursionConsistency(t *testing.T) {
+	f := func(tRaw float64) bool {
+		T := math.Abs(tRaw)
+		if math.IsNaN(T) || math.IsInf(T, 0) || T > 500 {
+			return true
+		}
+		var out [maxBoysOrder + 1]float64
+		Boys(maxBoysOrder, T, out[:])
+		expT := math.Exp(-T)
+		for n := 0; n < maxBoysOrder; n++ {
+			lhs := float64(2*n+1) * out[n]
+			rhs := 2*T*out[n+1] + expT
+			if math.Abs(lhs-rhs) > 1e-12*math.Max(1, math.Abs(lhs)) {
+				return false
+			}
+		}
+		// Monotone decreasing in order.
+		for n := 0; n < maxBoysOrder; n++ {
+			if out[n+1] > out[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoysPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	var out [maxBoysOrder + 1]float64
+	assertPanics("negative order", func() { Boys(-1, 1, out[:]) })
+	assertPanics("huge order", func() { Boys(maxBoysOrder+1, 1, out[:]) })
+	assertPanics("negative T", func() { Boys(0, -1, out[:]) })
+}

@@ -1,0 +1,90 @@
+package eri
+
+import "math"
+
+// ETable holds the 1-D Hermite expansion coefficients E_t^{ij} of a
+// Gaussian product along one Cartesian dimension: the overlap
+// distribution x_A^i·x_B^j·exp(−a x_A²)·exp(−b x_B²) expanded in Hermite
+// Gaussians Λ_t centered at P = (aA + bB)/(a+b):
+//
+//	G_i(x_A) G_j(x_B) = Σ_{t=0}^{i+j} E_t^{ij} Λ_t(x_P).
+//
+// E[(i·(jmax+1)+j)·(tmax+1)+t] addresses E_t^{ij}.
+type ETable struct {
+	imax, jmax int
+	data       []float64
+}
+
+// At returns E_t^{ij}.
+func (e *ETable) At(i, j, t int) float64 {
+	return e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t]
+}
+
+// Row returns the slice E_•^{ij}, valid for t in [0, i+j].
+func (e *ETable) Row(i, j int) []float64 {
+	base := (i*(e.jmax+1) + j) * (e.imax + e.jmax + 1)
+	return e.data[base : base+i+j+1]
+}
+
+func (e *ETable) set(i, j, t int, v float64) {
+	e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t] = v
+}
+
+// BuildE fills an ETable for angular momenta up to (imax, jmax) along
+// one dimension, for primitive exponents a (at coordinate A) and b (at
+// B). dAB = A − B along this dimension. The table includes the 1-D
+// pre-exponential factor exp(−μ·dAB²), μ = ab/(a+b), so multiplying the
+// three per-dimension E products gives the full 3-D expansion.
+//
+// Recurrences (McMurchie–Davidson 1978):
+//
+//	E_t^{i+1,j} = E_{t−1}^{ij}/(2p) + X_PA·E_t^{ij} + (t+1)·E_{t+1}^{ij}
+//	E_t^{i,j+1} = E_{t−1}^{ij}/(2p) + X_PB·E_t^{ij} + (t+1)·E_{t+1}^{ij}
+//
+// with p = a + b, X_PA = P − A = −b·dAB/p, X_PB = P − B = a·dAB/p.
+func BuildE(imax, jmax int, a, b, dAB float64, reuse *ETable) *ETable {
+	t := reuse
+	size := (imax + 1) * (jmax + 1) * (imax + jmax + 1)
+	if t == nil || t.imax != imax || t.jmax != jmax {
+		t = &ETable{imax: imax, jmax: jmax, data: make([]float64, size)}
+	} else {
+		for k := range t.data {
+			t.data[k] = 0
+		}
+	}
+	p := a + b
+	mu := a * b / p
+	xPA := -b * dAB / p
+	xPB := a * dAB / p
+	inv2p := 1 / (2 * p)
+
+	t.set(0, 0, 0, math.Exp(-mu*dAB*dAB))
+	// Raise i first (j = 0), then raise j for every i.
+	for i := 0; i < imax; i++ {
+		for tt := 0; tt <= i+1; tt++ {
+			v := xPA * t.At(i, 0, tt)
+			if tt > 0 {
+				v += inv2p * t.At(i, 0, tt-1)
+			}
+			if tt+1 <= i {
+				v += float64(tt+1) * t.At(i, 0, tt+1)
+			}
+			t.set(i+1, 0, tt, v)
+		}
+	}
+	for i := 0; i <= imax; i++ {
+		for j := 0; j < jmax; j++ {
+			for tt := 0; tt <= i+j+1; tt++ {
+				v := xPB * t.At(i, j, tt)
+				if tt > 0 {
+					v += inv2p * t.At(i, j, tt-1)
+				}
+				if tt+1 <= i+j {
+					v += float64(tt+1) * t.At(i, j, tt+1)
+				}
+				t.set(i, j+1, tt, v)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package eri
+
+import (
+	"math"
+
+	"repro/internal/basis"
+)
+
+// DipoleIntegrals computes the electric-dipole one-electron integrals
+// ⟨a|x|b⟩, ⟨a|y|b⟩, ⟨a|z|b⟩ about the origin, as dense row-major n×n
+// matrices. Together with the SCF density they give molecular dipole
+// moments (see internal/hf properties).
+//
+// Along one dimension, x = x_B + B_x turns the moment into overlaps:
+// ⟨i|x|j⟩ = S(i, j+1) + B_x·S(i, j), with S(i,j) = E_0^{ij}·√(π/p).
+func DipoleIntegrals(bs *basis.BasisSet) (Dx, Dy, Dz []float64, n int) {
+	n = bs.NBF()
+	Dx = make([]float64, n*n)
+	Dy = make([]float64, n*n)
+	Dz = make([]float64, n*n)
+
+	shells := make([]*PreparedShell, bs.NShells())
+	for i := range shells {
+		shells[i] = Prepare(bs.Shells[i])
+	}
+	var ex, ey, ez *ETable
+
+	for si, A := range shells {
+		for sj, B := range shells {
+			if sj < si {
+				continue
+			}
+			la, lb := A.Shell.L, B.Shell.L
+			offA, offB := bs.Offset(si), bs.Offset(sj)
+			ca, cb := A.Shell.Center, B.Shell.Center
+			for pi, a := range A.Shell.Exps {
+				for pj, b := range B.Shell.Exps {
+					p := a + b
+					ex = BuildE(la, lb+1, a, b, ca[0]-cb[0], ex)
+					ey = BuildE(la, lb+1, a, b, ca[1]-cb[1], ey)
+					ez = BuildE(la, lb+1, a, b, ca[2]-cb[2], ez)
+					sqp := math.Sqrt(math.Pi / p)
+					pref3 := sqp * sqp * sqp
+
+					for ai, compA := range A.Comps {
+						for bi, compB := range B.Comps {
+							coef := A.Coefs[ai][pi] * B.Coefs[bi][pj] * pref3
+							ia, ja := compA.Lx, compB.Lx
+							ib, jb := compA.Ly, compB.Ly
+							ic, jc := compA.Lz, compB.Lz
+							sx := ex.At(ia, ja, 0)
+							sy := ey.At(ib, jb, 0)
+							sz := ez.At(ic, jc, 0)
+							mx := ex.At(ia, ja+1, 0) + cb[0]*sx
+							my := ey.At(ib, jb+1, 0) + cb[1]*sy
+							mz := ez.At(ic, jc+1, 0) + cb[2]*sz
+
+							r := offA + ai
+							c := offB + bi
+							Dx[r*n+c] += coef * mx * sy * sz
+							Dy[r*n+c] += coef * sx * my * sz
+							Dz[r*n+c] += coef * sx * sy * mz
+						}
+					}
+				}
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := r + 1; c < n; c++ {
+			Dx[c*n+r] = Dx[r*n+c]
+			Dy[c*n+r] = Dy[r*n+c]
+			Dz[c*n+r] = Dz[r*n+c]
+		}
+	}
+	return Dx, Dy, Dz, n
+}

@@ -1,0 +1,135 @@
+package eri
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+)
+
+// Independent validation of the Hermite E-table machinery: compare
+// analytic overlap and dipole integrals against brute-force 3-D grid
+// quadrature for primitive shells up to d. The quadrature knows nothing
+// about McMurchie–Davidson — it just evaluates Gaussians on a lattice.
+
+// gridIntegrate3D integrates f over [-L,L]³ with the midpoint rule.
+func gridIntegrate3D(f func(x, y, z float64) float64, L float64, n int) float64 {
+	h := 2 * L / float64(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := -L + (float64(i)+0.5)*h
+		for j := 0; j < n; j++ {
+			y := -L + (float64(j)+0.5)*h
+			for k := 0; k < n; k++ {
+				z := -L + (float64(k)+0.5)*h
+				sum += f(x, y, z)
+			}
+		}
+	}
+	return sum * h * h * h
+}
+
+// cartGaussian evaluates one normalized contracted Cartesian Gaussian.
+func cartGaussian(s basis.Shell, comp basis.CartComponent, coefs []float64, x, y, z float64) float64 {
+	dx := x - s.Center[0]
+	dy := y - s.Center[1]
+	dz := z - s.Center[2]
+	r2 := dx*dx + dy*dy + dz*dz
+	poly := math.Pow(dx, float64(comp.Lx)) * math.Pow(dy, float64(comp.Ly)) * math.Pow(dz, float64(comp.Lz))
+	v := 0.0
+	for i, a := range s.Exps {
+		v += coefs[i] * math.Exp(-a*r2)
+	}
+	return v * poly
+}
+
+func TestOverlapAgainstQuadrature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid quadrature is slow")
+	}
+	mol := basis.Molecule{Name: "probe", Atoms: []basis.Atom{
+		{Symbol: "H", Z: 1, Pos: basis.Vec3{0, 0, 0}},
+		{Symbol: "H", Z: 1, Pos: basis.Vec3{1.2, -0.4, 0.7}},
+	}}
+	shells := []basis.Shell{
+		{Atom: 0, Center: mol.Atoms[0].Pos, L: 0, Exps: []float64{0.9}, Coefs: []float64{1}},
+		{Atom: 1, Center: mol.Atoms[1].Pos, L: 1, Exps: []float64{0.7}, Coefs: []float64{1}},
+		{Atom: 0, Center: mol.Atoms[0].Pos, L: 2, Exps: []float64{1.1}, Coefs: []float64{1}},
+	}
+	bs, err := basis.NewBasisSet(mol, shells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S, _, _, n := OneElectron(bs)
+
+	// Precompute per-BF evaluation closures.
+	type bf struct {
+		shell basis.Shell
+		comp  basis.CartComponent
+		coefs []float64
+	}
+	var bfs []bf
+	for _, sh := range shells {
+		for _, comp := range basis.CartComponents(sh.L) {
+			bfs = append(bfs, bf{sh, comp, sh.ContractedCoefs(comp)})
+		}
+	}
+	if len(bfs) != n {
+		t.Fatalf("bf count %d vs n %d", len(bfs), n)
+	}
+
+	// Spot-check a representative set of matrix elements.
+	pairs := [][2]int{{0, 0}, {0, 1}, {0, 3}, {1, 2}, {4, 4}, {2, 7}, {5, 9}}
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		if i >= n || j >= n {
+			continue
+		}
+		want := gridIntegrate3D(func(x, y, z float64) float64 {
+			return cartGaussian(bfs[i].shell, bfs[i].comp, bfs[i].coefs, x, y, z) *
+				cartGaussian(bfs[j].shell, bfs[j].comp, bfs[j].coefs, x, y, z)
+		}, 9, 120)
+		got := S[i*n+j]
+		if math.Abs(got-want) > 2e-3*(1+math.Abs(want)) {
+			t.Errorf("S[%d][%d] = %.6f, quadrature %.6f", i, j, got, want)
+		}
+	}
+}
+
+func TestDipoleAgainstQuadrature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid quadrature is slow")
+	}
+	mol := basis.Molecule{Name: "probe", Atoms: []basis.Atom{
+		{Symbol: "H", Z: 1, Pos: basis.Vec3{0.3, 0.1, -0.2}},
+	}}
+	shells := []basis.Shell{
+		{Atom: 0, Center: mol.Atoms[0].Pos, L: 1, Exps: []float64{0.8}, Coefs: []float64{1}},
+	}
+	bs, err := basis.NewBasisSet(mol, shells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Dx, Dy, Dz, n := DipoleIntegrals(bs)
+	comps := basis.CartComponents(1)
+	coefs := make([][]float64, len(comps))
+	for c, comp := range comps {
+		coefs[c] = shells[0].ContractedCoefs(comp)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for dim, mat := range [][]float64{Dx, Dy, Dz} {
+				want := gridIntegrate3D(func(x, y, z float64) float64 {
+					r := [3]float64{x, y, z}
+					return cartGaussian(shells[0], comps[i], coefs[i], x, y, z) *
+						r[dim] *
+						cartGaussian(shells[0], comps[j], coefs[j], x, y, z)
+				}, 9, 120)
+				got := mat[i*n+j]
+				if math.Abs(got-want) > 2e-3*(1+math.Abs(want)) {
+					t.Errorf("D%c[%d][%d] = %.6f, quadrature %.6f", "xyz"[dim], i, j, got, want)
+				}
+			}
+		}
+	}
+}

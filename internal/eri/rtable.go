@@ -1,0 +1,102 @@
+package eri
+
+// RTable holds the Hermite Coulomb integrals R⁰_{tuv}(α, PQ) needed to
+// assemble Coulomb-type integrals from Hermite charge distributions:
+//
+//	R^n_{tuv} = (∂/∂P_x)^t (∂/∂P_y)^u (∂/∂P_z)^v R^n_{000},
+//	R^n_{000} = (−2α)^n F_n(α·|PQ|²).
+//
+// Only the n = 0 layer is kept after construction; higher-n layers are
+// scratch. Entries are addressed on a cube of side L+1 where
+// L = t+u+v maximum total order.
+type RTable struct {
+	L      int
+	stride int
+	data   []float64 // R⁰ cube, (L+1)³
+	work   []float64 // scratch: two alternating cubes
+	boys   [maxBoysOrder + 1]float64
+}
+
+// NewRTable allocates a table supporting total Hermite order up to L.
+func NewRTable(L int) *RTable {
+	if L > maxBoysOrder {
+		panic("eri: RTable order exceeds Boys table capacity")
+	}
+	s := L + 1
+	return &RTable{
+		L:      L,
+		stride: s,
+		data:   make([]float64, s*s*s),
+		work:   make([]float64, 2*s*s*s),
+	}
+}
+
+// At returns R⁰_{tuv}. Entries with t+u+v > the L passed to Build are
+// undefined.
+func (r *RTable) At(t, u, v int) float64 {
+	return r.data[(t*r.stride+u)*r.stride+v]
+}
+
+// Build fills the table for reduced exponent alpha and inter-center
+// vector PQ = P − Q, up to total order L (≤ the table's capacity).
+//
+// The construction iterates n from L down to 0: layer n holds R^n_{tuv}
+// for t+u+v ≤ L−n, derived from layer n+1 by
+//
+//	R^n_{t+1,u,v} = t·R^{n+1}_{t−1,u,v} + X_PQ·R^{n+1}_{t,u,v}   (etc.)
+func (r *RTable) Build(L int, alpha float64, pqx, pqy, pqz float64) {
+	if L > r.L {
+		panic("eri: Build order exceeds table capacity")
+	}
+	T := alpha * (pqx*pqx + pqy*pqy + pqz*pqz)
+	Boys(L, T, r.boys[:])
+	s := r.stride
+	idx := func(t, u, v int) int { return (t*s+u)*s + v }
+
+	cur := r.work[:s*s*s]
+	next := r.work[s*s*s:]
+	// Layer L: only R^L_{000}.
+	m2a := 1.0 // (−2α)^n
+	for n := 0; n < L; n++ {
+		m2a *= -2 * alpha
+	}
+	cur[idx(0, 0, 0)] = m2a * r.boys[L]
+
+	for n := L - 1; n >= 0; n-- {
+		// R^n_{000}.
+		f := 1.0
+		for k := 0; k < n; k++ {
+			f *= -2 * alpha
+		}
+		next[idx(0, 0, 0)] = f * r.boys[n]
+		maxOrd := L - n
+		for total := 1; total <= maxOrd; total++ {
+			for t := 0; t <= total; t++ {
+				for u := 0; u <= total-t; u++ {
+					v := total - t - u
+					var val float64
+					switch {
+					case t > 0:
+						val = pqx * cur[idx(t-1, u, v)]
+						if t > 1 {
+							val += float64(t-1) * cur[idx(t-2, u, v)]
+						}
+					case u > 0:
+						val = pqy * cur[idx(t, u-1, v)]
+						if u > 1 {
+							val += float64(u-1) * cur[idx(t, u-2, v)]
+						}
+					default: // v > 0
+						val = pqz * cur[idx(t, u, v-1)]
+						if v > 1 {
+							val += float64(v-1) * cur[idx(t, u, v-2)]
+						}
+					}
+					next[idx(t, u, v)] = val
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	copy(r.data, cur)
+}

@@ -1,0 +1,281 @@
+package experiments
+
+// These tests check the SHAPE claims of every reproduced figure on
+// small (fast) dataset samples: who wins, orderings, and error-bound
+// validity. The full-size numbers live in EXPERIMENTS.md and come from
+// cmd/experiments / the root benchmarks.
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+)
+
+// testBlocks keeps the per-dataset sample small so the whole suite runs
+// in seconds (datasets are cached across tests and packages).
+const testBlocks = 60
+
+func TestFig3PatternIsStrong(t *testing.T) {
+	r, err := Fig3(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDeviation >= r.BlockAmp*0.01 {
+		t.Fatalf("pattern deviation %.3g not small vs amplitude %.3g",
+			r.MaxDeviation, r.BlockAmp)
+	}
+	if r.Scale < -1 || r.Scale > 1 {
+		t.Fatalf("scale %g outside [-1,1]", r.Scale)
+	}
+	if len(r.Block) != 216 || len(r.SubBlock0) != 36 {
+		t.Fatalf("series lengths: %d, %d", len(r.Block), len(r.SubBlock0))
+	}
+}
+
+func TestFig4MetricOrdering(t *testing.T) {
+	rows, err := Fig4(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := map[string]float64{}
+	for _, r := range rows {
+		if r.Ratio <= 1 {
+			t.Fatalf("%v ratio %.2f not > 1", r.Metric, r.Ratio)
+		}
+		ratio[r.Metric.String()] = r.Ratio
+	}
+	// Paper Fig. 4 ordering among aggregate metrics: AAR > IS > AR.
+	if !(ratio["AAR"] > ratio["AR"]) {
+		t.Errorf("AAR (%.2f) should beat AR (%.2f)", ratio["AAR"], ratio["AR"])
+	}
+	// ER must be competitive with the best (it is also the cheapest).
+	best := 0.0
+	for _, v := range ratio {
+		if v > best {
+			best = v
+		}
+	}
+	if ratio["ER"] < 0.93*best {
+		t.Errorf("ER (%.2f) not competitive with best (%.2f)", ratio["ER"], best)
+	}
+}
+
+func TestFig6TypeMix(t *testing.T) {
+	stats, err := Fig6(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range stats.TypeCount {
+		sum += c
+	}
+	if sum != stats.Blocks || stats.Blocks == 0 {
+		t.Fatalf("type counts %v don't sum to %d blocks", stats.TypeCount, stats.Blocks)
+	}
+	// The paper's characteristic mix: Type 0/1 are the majority
+	// ("70-80%" there; we require a majority on the small sample).
+	if frac := float64(stats.TypeCount[0]+stats.TypeCount[1]) / float64(sum); frac < 0.5 {
+		t.Errorf("Type 0+1 fraction %.2f < 0.5", frac)
+	}
+	// Bin 1 (value 0) must dominate the total ECQ histogram.
+	var totalVals uint64
+	for _, c := range stats.TotalHist {
+		totalVals += c
+	}
+	if float64(stats.TotalHist[1])/float64(totalVals) < 0.5 {
+		t.Errorf("zero bin holds %.2f of values, expected a majority",
+			float64(stats.TotalHist[1])/float64(totalVals))
+	}
+}
+
+func TestFig7TreeOrdering(t *testing.T) {
+	rows, err := Fig7(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := map[encoding.Method]float64{}
+	for _, r := range rows {
+		ratio[r.Method] = r.Ratio
+	}
+	// Paper Fig. 7 shape: Tree5 beats Trees 1-3 (its adaptive superset);
+	// Tree3 beats Tree2. Tree4's rank is data-dependent (it codes each
+	// value by its own bin, which pays off when Type-3 blocks carry
+	// heavier mid-value tails than the paper's data — see
+	// EXPERIMENTS.md), so it is not constrained here.
+	for _, m := range []encoding.Method{encoding.Tree1, encoding.Tree2, encoding.Tree3} {
+		if ratio[encoding.Tree5] < ratio[m]*0.999 {
+			t.Errorf("Tree5 (%.3f) lost to %v (%.3f)", ratio[encoding.Tree5], m, ratio[m])
+		}
+	}
+	if !(ratio[encoding.Tree3] > ratio[encoding.Tree2]) {
+		t.Errorf("Tree3 (%.3f) should beat Tree2 (%.3f)",
+			ratio[encoding.Tree3], ratio[encoding.Tree2])
+	}
+}
+
+func TestFig9HeadlineShape(t *testing.T) {
+	rows, err := Fig9(testBlocks)
+	if err != nil {
+		t.Fatal(err) // Fig9 verifies every error bound internally
+	}
+	for _, eb := range EBs {
+		avg := AverageRatio(rows, eb)
+		// PaSTRI beats both baselines at every error bound — the
+		// paper's ~2.5x claim; we require ≥1.5x on the small sample.
+		if avg["PaSTRI"] < 1.5*avg["SZ"] {
+			t.Errorf("EB %.0e: PaSTRI %.2f not ≥1.5x SZ %.2f", eb, avg["PaSTRI"], avg["SZ"])
+		}
+		if avg["PaSTRI"] < 1.5*avg["ZFP"] {
+			t.Errorf("EB %.0e: PaSTRI %.2f not ≥1.5x ZFP %.2f", eb, avg["PaSTRI"], avg["ZFP"])
+		}
+	}
+	comp, dec := AverageRate(rows)
+	if comp["PaSTRI"] < comp["SZ"] || comp["PaSTRI"] < comp["ZFP"] {
+		t.Errorf("PaSTRI compression rate %.0f MB/s not fastest (SZ %.0f, ZFP %.0f)",
+			comp["PaSTRI"], comp["SZ"], comp["ZFP"])
+	}
+	if dec["PaSTRI"] < dec["SZ"] || dec["PaSTRI"] < dec["ZFP"] {
+		t.Errorf("PaSTRI decompression rate %.0f MB/s not fastest (SZ %.0f, ZFP %.0f)",
+			dec["PaSTRI"], dec["SZ"], dec["ZFP"])
+	}
+}
+
+func TestFig9bRateDistortionDominance(t *testing.T) {
+	pts, err := Fig9b(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every matched error bound, PaSTRI's bitrate must be the lowest
+	// (its curve sits upper-left of SZ's and ZFP's).
+	br := map[float64]map[string]float64{}
+	for _, p := range pts {
+		if br[p.EB] == nil {
+			br[p.EB] = map[string]float64{}
+		}
+		br[p.EB][p.Codec] = p.BitRate
+	}
+	for eb, m := range br {
+		if m["PaSTRI"] >= m["SZ"] || m["PaSTRI"] >= m["ZFP"] {
+			t.Errorf("EB %.0e: PaSTRI bitrate %.3f not lowest (SZ %.3f, ZFP %.3f)",
+				eb, m["PaSTRI"], m["SZ"], m["ZFP"])
+		}
+	}
+}
+
+func TestFig10PaSTRIWinsIO(t *testing.T) {
+	rows, err := Fig10(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[int]map[string][2]float64{}
+	for _, r := range rows {
+		if totals[r.Cores] == nil {
+			totals[r.Cores] = map[string][2]float64{}
+		}
+		totals[r.Cores][r.Codec] = [2]float64{r.Dump.Total().Seconds(), r.Load.Total().Seconds()}
+	}
+	for cores, m := range totals {
+		for _, other := range []string{"SZ", "ZFP"} {
+			if m["PaSTRI"][0] >= m[other][0] {
+				t.Errorf("%d cores: PaSTRI dump %.1fs not faster than %s %.1fs",
+					cores, m["PaSTRI"][0], other, m[other][0])
+			}
+			if m["PaSTRI"][1] >= m[other][1] {
+				t.Errorf("%d cores: PaSTRI load %.1fs not faster than %s %.1fs",
+					cores, m["PaSTRI"][1], other, m[other][1])
+			}
+		}
+	}
+}
+
+func TestFig11SpeedupShape(t *testing.T) {
+	rows, err := Fig11(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Fig. 11's claim: with reuse = 20, the PaSTRI infrastructure
+		// beats recomputation at every EB and configuration.
+		if r.Speedup <= 1 {
+			t.Errorf("%s EB %.0e: speedup %.2f ≤ 1", r.Config, r.EB, r.Speedup)
+		}
+	}
+}
+
+func TestBreakdownShape(t *testing.T) {
+	ps, ecq, book, err := Breakdown(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecq <= ps {
+		t.Errorf("ECQ share %.2f not dominant over PQ+SQ %.2f (paper: 70-80%% vs 20-30%%)", ecq, ps)
+	}
+	if book > 0.02 {
+		t.Errorf("bookkeeping share %.3f above 2%%", book)
+	}
+}
+
+func TestLosslessBaselineWeak(t *testing.T) {
+	ratio, err := LosslessBaseline(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 || ratio > 4 {
+		t.Errorf("DEFLATE ratio %.2f outside the credible 1-4x band", ratio)
+	}
+}
+
+func TestPaSTRIParallelRateScales(t *testing.T) {
+	spec := dataset.Spec{Molecule: "alanine", L: 2, MaxBlocks: testBlocks}
+	c1, d1, err := PaSTRIParallelRate(spec, 1e-10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, d4, err := PaSTRIParallelRate(spec, 1e-10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 < c1 || d4 < d1 {
+		t.Logf("parallel rates did not improve (c: %.0f->%.0f, d: %.0f->%.0f MB/s) — acceptable on loaded CI machines",
+			c1, c4, d1, d4)
+	}
+}
+
+// Sec. III-B: the right block geometry is what unlocks the ratio; a
+// wrong period still honors the bound but compresses far worse.
+func TestGeometryAblation(t *testing.T) {
+	rows, err := GeometryAblation(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Ratio
+	}
+	correct := byLabel["correct (36x36)"]
+	if correct <= 1 {
+		t.Fatalf("correct geometry ratio %.2f", correct)
+	}
+	for label, ratio := range byLabel {
+		if label == "correct (36x36)" {
+			continue
+		}
+		if ratio >= correct*0.8 {
+			t.Errorf("%s ratio %.2f too close to correct %.2f — geometry should matter",
+				label, ratio, correct)
+		}
+	}
+}
+
+func TestCompressWithUnknownCodec(t *testing.T) {
+	if _, err := compressWith("LZMA", nil, 1e-10); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := decompressWith("LZMA", nil); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// Sec. IV-C's argument against Huffman must hold quantitatively on real
+// ECQ streams: per-block Huffman loses to the fixed trees because of
+// dictionary overhead, and the global dictionary carries many
+// single-occurrence symbols.
+func TestHuffmanComparisonShape(t *testing.T) {
+	res, err := HuffmanComparison(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks == 0 || res.Values == 0 {
+		t.Fatal("empty comparison")
+	}
+	if res.Tree5Bits == 0 {
+		t.Fatal("Tree5 measured zero bits")
+	}
+	// (a) Per-block Huffman must lose to the fixed tree: the dictionary
+	// is paid per block and cannot amortize.
+	if res.HuffmanPerBlock <= res.Tree5Bits {
+		t.Errorf("per-block Huffman (%d bits) should exceed Tree5 (%d bits)",
+			res.HuffmanPerBlock, res.Tree5Bits)
+	}
+	// The dictionary share must be the reason.
+	if res.HuffmanPerBlock-res.HuffmanPerBlkDict > res.HuffmanPerBlock {
+		t.Error("dictionary accounting inconsistent")
+	}
+	if res.HuffmanPerBlkDict*2 < res.HuffmanPerBlock-res.Tree5Bits {
+		t.Logf("note: per-block Huffman loses even beyond its dictionary cost")
+	}
+	// (b) The global ECQ alphabet carries many single-occurrence symbols
+	// (the paper's "huge number of bins ... single-value occurrences").
+	if res.DistinctSymbols < 100 {
+		t.Errorf("only %d distinct ECQ symbols — workload too uniform to test", res.DistinctSymbols)
+	}
+	if frac := float64(res.SingleOccurrence) / float64(res.DistinctSymbols); frac < 0.2 {
+		t.Errorf("single-occurrence symbols only %.2f of alphabet", frac)
+	}
+}
+
+func TestSymbolOfZigZag(t *testing.T) {
+	// symbolOf maps v to |v|<<1 with the sign in the low bit.
+	cases := map[int64]uint32{0: 0, 1: 2, -1: 3, 2: 4, -2: 5, 100: 200, -100: 201}
+	for v, want := range cases {
+		if got := symbolOf(v); got != want {
+			t.Errorf("symbolOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Distinctness over a range.
+	seen := map[uint32]bool{}
+	for v := int64(-5000); v <= 5000; v++ {
+		s := symbolOf(v)
+		if seen[s] {
+			t.Fatalf("collision at %d", v)
+		}
+		seen[s] = true
+	}
+	if !verifySymbolWidth([]int64{1 << 30, -(1 << 30)}) {
+		t.Error("in-range values rejected")
+	}
+	if verifySymbolWidth([]int64{1 << 31}) {
+		t.Error("out-of-range value accepted")
+	}
+}

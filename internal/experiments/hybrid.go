@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eri"
+)
+
+// This file reproduces the paper's hybrid-configuration claim
+// (Sec. V-A): "we have also used d and f hybrid BF configurations
+// ((df|fd), etc.) ... Metrics for hybrid configurations follow very
+// similar trends of the metrics of pure configurations." A hybrid
+// workload mixes block shapes, so it exercises the multi-section
+// container format.
+
+// HybridResult reports the hybrid-configuration measurement.
+type HybridResult struct {
+	Blocks     int
+	Sections   int // distinct block geometries
+	RawBytes   int
+	CompBytes  int
+	Ratio      float64
+	MaxAbsErr  float64
+	PureDDFF   float64 // mean ratio of the pure (dd|dd)+(ff|ff) datasets at the same EB
+	ErrorBound float64
+}
+
+// Hybrid generates a mixed d/f configuration over the benzene cluster
+// (both a d and an f shell on every heavy atom), compresses the
+// variable-geometry block stream into a container at EB = 1e-10, and
+// verifies the error bound and the "similar trends" claim against the
+// pure configurations.
+func Hybrid(blocks int) (*HybridResult, error) {
+	const eb = 1e-10
+	mol, err := dataset.PaperMolecule("benzene")
+	if err != nil {
+		return nil, err
+	}
+	shells, err := basis.MixedShells(mol)
+	if err != nil {
+		return nil, err
+	}
+	prepared := make([]*eri.PreparedShell, len(shells))
+	maxL := 0
+	for i, s := range shells {
+		prepared[i] = eri.Prepare(s)
+		if s.L > maxL {
+			maxL = s.L
+		}
+	}
+	quartets, err := eri.SelectQuartets(prepared, maxL, eri.DefaultScreenTol, blocks)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := eri.ComputeMixedBlocks(prepared, quartets, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	w, err := container.NewWriter(core.Defaults(1, 1, eb))
+	if err != nil {
+		return nil, err
+	}
+	raw := 0
+	for i := range mixed {
+		b := &mixed[i]
+		g := container.Geometry{NumSB: b.NumSB(), SBSize: b.SBSize()}
+		if err := w.WriteBlock(g, b.Data); err != nil {
+			return nil, err
+		}
+		raw += len(b.Data) * 8
+	}
+	buf, err := w.Bytes()
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify the bound across the whole replay.
+	r, err := container.NewReader(buf)
+	if err != nil {
+		return nil, err
+	}
+	maxErr := 0.0
+	for i := range mixed {
+		data, _, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if data == nil {
+			return nil, fmt.Errorf("experiments: container ended early at block %d", i)
+		}
+		for j := range data {
+			if e := math.Abs(data[j] - mixed[i].Data[j]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > eb*(1+1e-9) {
+		return nil, fmt.Errorf("experiments: hybrid bound violated (max error %g)", maxErr)
+	}
+
+	// Pure-configuration reference at the same EB for the trends check.
+	pure := 0.0
+	for _, l := range []int{2, 3} {
+		ds, err := dataset.Get(dataset.Spec{Molecule: "benzene", L: l, MaxBlocks: blocks})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Defaults(ds.NumSB, ds.SBSize, eb)
+		comp, err := core.Compress(ds.Data, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		pure += float64(len(ds.Data)*8) / float64(len(comp))
+	}
+	pure /= 2
+
+	return &HybridResult{
+		Blocks:     len(mixed),
+		Sections:   w.Sections(),
+		RawBytes:   raw,
+		CompBytes:  len(buf),
+		Ratio:      float64(raw) / float64(len(buf)),
+		MaxAbsErr:  maxErr,
+		PureDDFF:   pure,
+		ErrorBound: eb,
+	}, nil
+}

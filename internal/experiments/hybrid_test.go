@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// The paper's hybrid claim: "Metrics for hybrid configurations follow
+// very similar trends of the metrics of pure configurations."
+func TestHybridFollowsPureTrends(t *testing.T) {
+	r, err := Hybrid(testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks == 0 {
+		t.Fatal("no hybrid blocks")
+	}
+	// A d+f shell set yields several distinct block geometries.
+	if r.Sections < 3 {
+		t.Errorf("only %d block geometries in the hybrid stream", r.Sections)
+	}
+	if r.Ratio <= 1 {
+		t.Fatalf("hybrid ratio %.2f", r.Ratio)
+	}
+	// "Very similar trends": hybrid ratio within 2x of the pure mean —
+	// same order of magnitude, same winner-by-far over raw storage.
+	if r.Ratio < r.PureDDFF/2 || r.Ratio > r.PureDDFF*2 {
+		t.Errorf("hybrid ratio %.2f far from pure mean %.2f", r.Ratio, r.PureDDFF)
+	}
+	if r.MaxAbsErr > r.ErrorBound {
+		t.Errorf("bound violated: %g > %g", r.MaxAbsErr, r.ErrorBound)
+	}
+}

@@ -1,0 +1,103 @@
+package hf
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// diis implements Pulay's Direct Inversion in the Iterative Subspace:
+// the next Fock matrix is the linear combination of recent Fock
+// matrices whose combined error vector e = F·D·S − S·D·F (measured in
+// the orthonormal basis) has minimal norm, subject to Σc = 1. This is
+// the standard SCF convergence accelerator in production quantum
+// chemistry codes.
+type diis struct {
+	maxVecs int
+	focks   []*linalg.Matrix
+	errs    []*linalg.Matrix
+}
+
+func newDIIS(maxVecs int) *diis {
+	if maxVecs < 2 {
+		maxVecs = 8
+	}
+	return &diis{maxVecs: maxVecs}
+}
+
+// errorVector returns X·(F·D·S − S·D·F)·Xᵀ... the commutator transformed
+// to the orthonormal basis, whose Frobenius norm vanishes at SCF
+// stationarity.
+func diisError(F, D, S, X *linalg.Matrix) *linalg.Matrix {
+	fds := linalg.Mul(linalg.Mul(F, D), S)
+	sdf := linalg.Mul(linalg.Mul(S, D), F)
+	comm := linalg.NewMatrix(F.Rows, F.Cols)
+	for i := range comm.Data {
+		comm.Data[i] = fds.Data[i] - sdf.Data[i]
+	}
+	return linalg.Mul(linalg.Mul(X.Transpose(), comm), X)
+}
+
+// push records one iterate.
+func (d *diis) push(F, err *linalg.Matrix) {
+	d.focks = append(d.focks, F.Clone())
+	d.errs = append(d.errs, err)
+	if len(d.focks) > d.maxVecs {
+		d.focks = d.focks[1:]
+		d.errs = d.errs[1:]
+	}
+}
+
+// errNorm returns the max-abs element of the newest error vector.
+func (d *diis) errNorm() float64 {
+	e := d.errs[len(d.errs)-1]
+	m := 0.0
+	for _, v := range e.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// extrapolate solves the DIIS equations and returns the mixed Fock
+// matrix, or an error when the subspace is degenerate (caller falls
+// back to the plain Fock matrix).
+func (d *diis) extrapolate() (*linalg.Matrix, error) {
+	m := len(d.focks)
+	if m < 2 {
+		return nil, fmt.Errorf("hf: DIIS subspace too small")
+	}
+	// B is the Gram matrix of error vectors bordered by the −1 row/col
+	// for the Σc = 1 constraint.
+	B := linalg.NewMatrix(m+1, m+1)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			dot := 0.0
+			for k := range d.errs[i].Data {
+				dot += d.errs[i].Data[k] * d.errs[j].Data[k]
+			}
+			B.Set(i, j, dot)
+			B.Set(j, i, dot)
+		}
+		B.Set(i, m, -1)
+		B.Set(m, i, -1)
+	}
+	rhs := make([]float64, m+1)
+	rhs[m] = -1
+	coef, err := linalg.SolveLinear(B, rhs)
+	if err != nil {
+		return nil, err
+	}
+	F := linalg.NewMatrix(d.focks[0].Rows, d.focks[0].Cols)
+	for i := 0; i < m; i++ {
+		c := coef[i]
+		for k := range F.Data {
+			F.Data[k] += c * d.focks[i].Data[k]
+		}
+	}
+	return F, nil
+}

@@ -1,0 +1,114 @@
+package hf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+	"repro/internal/linalg"
+)
+
+// DIIS must reach the same fixed point as plain SCF, in fewer (or equal)
+// iterations.
+func TestDIISAcceleratesWater(t *testing.T) {
+	bs, err := basis.STO3G(basis.Water())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &MemorySource{BS: bs}
+	plain, err := SCF(bs, 0, src, Options{DisableDIIS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diis, err := SCF(bs, 0, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !diis.Converged {
+		t.Fatalf("convergence: plain=%v diis=%v", plain.Converged, diis.Converged)
+	}
+	if math.Abs(plain.Energy-diis.Energy) > 1e-7 {
+		t.Fatalf("energies differ: %.10f vs %.10f", plain.Energy, diis.Energy)
+	}
+	if diis.Iterations > plain.Iterations {
+		t.Errorf("DIIS took %d iterations, plain %d", diis.Iterations, plain.Iterations)
+	}
+	t.Logf("water SCF: plain %d iterations, DIIS %d", plain.Iterations, diis.Iterations)
+}
+
+// At SCF stationarity the Fock and density matrices commute through the
+// overlap metric: ‖F·D·S − S·D·F‖∞ ≈ 0. This is the condition DIIS
+// drives to zero, and a strong whole-pipeline consistency check on the
+// integrals, the eigensolver and the Fock build.
+func TestDIISErrorVanishesAtConvergence(t *testing.T) {
+	bs, err := basis.STO3G(basis.Water())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SCF(bs, 0, &MemorySource{BS: bs}, Options{EnergyTol: 1e-11, DensityTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("SCF did not converge")
+	}
+	fds := linalg.Mul(linalg.Mul(res.Fock, res.Density), res.Overlap)
+	sdf := linalg.Mul(linalg.Mul(res.Overlap, res.Density), res.Fock)
+	if norm := linalg.MaxAbsDiff(fds, sdf); norm > 1e-6 {
+		t.Fatalf("‖FDS − SDF‖∞ = %g at convergence", norm)
+	}
+	// The density must carry the right electron count: Tr(D·S) = N.
+	if n := linalg.Mul(res.Density, res.Overlap).Trace(); math.Abs(n-10) > 1e-8 {
+		t.Fatalf("Tr(DS) = %g, want 10", n)
+	}
+}
+
+func TestDIISSubspaceTooSmall(t *testing.T) {
+	d := newDIIS(4)
+	if _, err := d.extrapolate(); err == nil {
+		t.Fatal("empty subspace extrapolated")
+	}
+	F := linalg.NewMatrix(2, 2)
+	d.push(F, linalg.NewMatrix(2, 2))
+	if _, err := d.extrapolate(); err == nil {
+		t.Fatal("single-vector subspace extrapolated")
+	}
+}
+
+func TestDIISSubspaceWindow(t *testing.T) {
+	d := newDIIS(3)
+	for i := 0; i < 10; i++ {
+		F := linalg.NewMatrix(2, 2)
+		F.Set(0, 0, float64(i))
+		E := linalg.NewMatrix(2, 2)
+		E.Set(0, 0, 1/float64(i+1))
+		d.push(F, E)
+	}
+	if len(d.focks) != 3 || len(d.errs) != 3 {
+		t.Fatalf("window holds %d/%d, want 3", len(d.focks), len(d.errs))
+	}
+	if d.focks[0].At(0, 0) != 7 {
+		t.Fatalf("oldest retained Fock is %g, want 7", d.focks[0].At(0, 0))
+	}
+	if d.errNorm() != 0.1 {
+		t.Fatalf("errNorm = %g", d.errNorm())
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	A := linalg.FromSlice(2, 2, []float64{2, 1, 1, 3})
+	x, err := linalg.SolveLinear(A, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+	if _, err := linalg.SolveLinear(linalg.NewMatrix(2, 2), []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved")
+	}
+	if _, err := linalg.SolveLinear(linalg.NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}

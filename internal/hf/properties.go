@@ -1,0 +1,64 @@
+package hf
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/eri"
+	"repro/internal/linalg"
+)
+
+// Molecular properties from a converged SCF density — the downstream
+// consumers of the (possibly PaSTRI-decompressed) integral supply.
+
+// MullikenCharges performs Mulliken population analysis: the charge on
+// atom A is Z_A − Σ_{μ∈A} (D·S)_{μμ}.
+func MullikenCharges(bs *basis.BasisSet, density, overlap *linalg.Matrix) ([]float64, error) {
+	n := bs.NBF()
+	if density == nil || overlap == nil || density.Rows != n || overlap.Rows != n {
+		return nil, fmt.Errorf("hf: density/overlap shape mismatch")
+	}
+	DS := linalg.Mul(density, overlap)
+	pop := make([]float64, len(bs.Mol.Atoms))
+	for s := 0; s < bs.NShells(); s++ {
+		atom := bs.Shells[s].Atom
+		if atom < 0 || atom >= len(pop) {
+			return nil, fmt.Errorf("hf: shell %d has no atom assignment", s)
+		}
+		off := bs.Offset(s)
+		for k := 0; k < bs.Shells[s].NCart(); k++ {
+			pop[atom] += DS.At(off+k, off+k)
+		}
+	}
+	charges := make([]float64, len(pop))
+	for a := range charges {
+		charges[a] = float64(bs.Mol.Atoms[a].Z) - pop[a]
+	}
+	return charges, nil
+}
+
+// DipoleMoment returns the molecular dipole vector in atomic units:
+// μ = Σ_A Z_A·R_A − Σ_{μν} D_{μν}·⟨μ|r|ν⟩.
+func DipoleMoment(bs *basis.BasisSet, density *linalg.Matrix) (basis.Vec3, error) {
+	n := bs.NBF()
+	if density == nil || density.Rows != n {
+		return basis.Vec3{}, fmt.Errorf("hf: density shape mismatch")
+	}
+	dx, dy, dz, _ := eri.DipoleIntegrals(bs)
+	var mu basis.Vec3
+	for _, at := range bs.Mol.Atoms {
+		mu = mu.Add(at.Pos.Scale(float64(at.Z)))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := density.At(i, j)
+			mu[0] -= d * dx[i*n+j]
+			mu[1] -= d * dy[i*n+j]
+			mu[2] -= d * dz[i*n+j]
+		}
+	}
+	return mu, nil
+}
+
+// AtomicUnitsToDebye converts a dipole magnitude from e·a0 to Debye.
+const AtomicUnitsToDebye = 2.541746473

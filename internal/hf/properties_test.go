@@ -1,0 +1,106 @@
+package hf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/basis"
+)
+
+func convergedWater(t *testing.T) (*basis.BasisSet, *Result) {
+	t.Helper()
+	bs, err := basis.STO3G(basis.Water())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SCF(bs, 0, &MemorySource{BS: bs}, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("SCF: %v (converged=%v)", err, res != nil && res.Converged)
+	}
+	return bs, res
+}
+
+// RHF/STO-3G water dipole: literature ≈ 1.71 D ≈ 0.67 a.u.
+func TestWaterDipole(t *testing.T) {
+	bs, res := convergedWater(t)
+	mu, err := DipoleMoment(bs, res.Density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := mu.Norm()
+	if mag < 0.5 || mag > 0.85 {
+		t.Fatalf("water dipole = %.4f a.u. (%.3f D), want ≈ 0.67 a.u.",
+			mag, mag*AtomicUnitsToDebye)
+	}
+	// The dipole must point along the C2v symmetry axis: the water
+	// geometry puts both hydrogens symmetric about the bisector in the
+	// xy-plane, so μ_z = 0.
+	if math.Abs(mu[2]) > 1e-8 {
+		t.Fatalf("out-of-plane dipole component %g", mu[2])
+	}
+}
+
+func TestWaterMulliken(t *testing.T) {
+	bs, res := convergedWater(t)
+	q, err := MullikenCharges(bs, res.Density, res.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 3 {
+		t.Fatalf("%d charges", len(q))
+	}
+	// Oxygen negative, hydrogens positive and symmetric; total zero.
+	if q[0] >= 0 {
+		t.Errorf("O charge %.4f, want < 0", q[0])
+	}
+	if q[1] <= 0 || q[2] <= 0 {
+		t.Errorf("H charges %.4f, %.4f, want > 0", q[1], q[2])
+	}
+	if math.Abs(q[1]-q[2]) > 1e-8 {
+		t.Errorf("H charges differ: %.6f vs %.6f", q[1], q[2])
+	}
+	total := q[0] + q[1] + q[2]
+	if math.Abs(total) > 1e-8 {
+		t.Errorf("charges sum to %g", total)
+	}
+	// STO-3G Mulliken oxygen charge is ≈ −0.33 e.
+	if q[0] < -0.6 || q[0] > -0.15 {
+		t.Errorf("O charge %.4f outside the credible STO-3G band", q[0])
+	}
+}
+
+// A homonuclear diatomic has zero dipole and zero charges by symmetry.
+func TestH2Symmetry(t *testing.T) {
+	bs, err := basis.STO3G(basis.H2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SCF(bs, 0, &MemorySource{BS: bs}, Options{})
+	if err != nil || !res.Converged {
+		t.Fatal("SCF failed")
+	}
+	mu, err := DipoleMoment(bs, res.Density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Norm() > 1e-8 {
+		t.Errorf("H2 dipole %g", mu.Norm())
+	}
+	q, err := MullikenCharges(bs, res.Density, res.Overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[0]) > 1e-8 || math.Abs(q[1]) > 1e-8 {
+		t.Errorf("H2 charges %v", q)
+	}
+}
+
+func TestPropertiesValidation(t *testing.T) {
+	bs, _ := basis.STO3G(basis.Water())
+	if _, err := MullikenCharges(bs, nil, nil); err == nil {
+		t.Error("nil matrices accepted")
+	}
+	if _, err := DipoleMoment(bs, nil); err == nil {
+		t.Error("nil density accepted")
+	}
+}

@@ -1,0 +1,250 @@
+// Package huffman implements a canonical Huffman coder over uint32
+// symbols, the entropy-coding substrate of the SZ baseline compressor
+// (SZ encodes its linear-scaling quantization codes with Huffman; see
+// Tao et al., IPDPS'17).
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// maxCodeLen bounds code lengths; with canonical assignment and ≤ 2^32
+// distinct symbols this is never exceeded for realistic inputs, and the
+// serialized table reserves 6 bits for lengths.
+const maxCodeLen = 58
+
+// Codec holds a canonical Huffman code for a set of symbols.
+type Codec struct {
+	symbols []uint32        // sorted by (length, symbol)
+	lengths []uint8         // parallel to symbols
+	codes   map[uint32]code // symbol → code
+	decode  decodeTable
+}
+
+type code struct {
+	bits uint64
+	len  uint8
+}
+
+// decodeTable supports canonical decoding: for each length, the first
+// code value and the index of its first symbol.
+type decodeTable struct {
+	firstCode  [maxCodeLen + 1]uint64
+	firstIndex [maxCodeLen + 1]int
+	count      [maxCodeLen + 1]int
+	symbols    []uint32
+	maxLen     int
+}
+
+type hnode struct {
+	freq        uint64
+	symbol      uint32
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a canonical Huffman code from symbol frequencies. At least
+// one symbol must have nonzero frequency.
+func New(freqs map[uint32]uint64) (*Codec, error) {
+	var nodes hheap
+	for sym, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, &hnode{freq: f, symbol: sym})
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("huffman: no symbols")
+	}
+	if len(nodes) == 1 {
+		// Degenerate: one symbol gets a 1-bit code.
+		c := &Codec{
+			symbols: []uint32{nodes[0].symbol},
+			lengths: []uint8{1},
+		}
+		c.finish()
+		return c, nil
+	}
+	// Map iteration order is random; sort for a deterministic tree.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].freq != nodes[j].freq {
+			return nodes[i].freq < nodes[j].freq
+		}
+		return nodes[i].symbol < nodes[j].symbol
+	})
+	heap.Init(&nodes)
+	for nodes.Len() > 1 {
+		a := heap.Pop(&nodes).(*hnode)
+		b := heap.Pop(&nodes).(*hnode)
+		heap.Push(&nodes, &hnode{freq: a.freq + b.freq, left: a, right: b})
+	}
+	root := nodes[0]
+
+	// Collect code lengths.
+	type sl struct {
+		sym uint32
+		l   uint8
+	}
+	var all []sl
+	var walk func(n *hnode, depth uint8)
+	walk = func(n *hnode, depth uint8) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			all = append(all, sl{n.sym(), depth})
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].l != all[j].l {
+			return all[i].l < all[j].l
+		}
+		return all[i].sym < all[j].sym
+	})
+	c := &Codec{}
+	for _, e := range all {
+		if e.l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: code length %d exceeds limit", e.l)
+		}
+		c.symbols = append(c.symbols, e.sym)
+		c.lengths = append(c.lengths, e.l)
+	}
+	c.finish()
+	return c, nil
+}
+
+func (n *hnode) sym() uint32 { return n.symbol }
+
+// finish assigns canonical codes from the sorted (length, symbol) list.
+func (c *Codec) finish() {
+	c.codes = make(map[uint32]code, len(c.symbols))
+	c.decode = decodeTable{symbols: c.symbols}
+	var next uint64
+	prevLen := uint8(0)
+	for i, sym := range c.symbols {
+		l := c.lengths[i]
+		next <<= (l - prevLen)
+		prevLen = l
+		c.codes[sym] = code{bits: next, len: l}
+		if c.decode.count[l] == 0 {
+			c.decode.firstCode[l] = next
+			c.decode.firstIndex[l] = i
+		}
+		c.decode.count[l]++
+		if int(l) > c.decode.maxLen {
+			c.decode.maxLen = int(l)
+		}
+		next++
+	}
+}
+
+// CodeLen returns the code length in bits for a symbol (0 if unknown).
+func (c *Codec) CodeLen(sym uint32) int { return int(c.codes[sym].len) }
+
+// EncodeSymbol writes one symbol's code.
+func (c *Codec) EncodeSymbol(w *bitio.Writer, sym uint32) error {
+	cd, ok := c.codes[sym]
+	if !ok {
+		return fmt.Errorf("huffman: symbol %d not in codebook", sym)
+	}
+	w.WriteBits(cd.bits, uint(cd.len))
+	return nil
+}
+
+// DecodeSymbol reads one symbol.
+func (c *Codec) DecodeSymbol(r *bitio.Reader) (uint32, error) {
+	var v uint64
+	for l := 1; l <= c.decode.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+		if c.decode.count[l] > 0 {
+			offset := int64(v) - int64(c.decode.firstCode[l])
+			if offset >= 0 && offset < int64(c.decode.count[l]) {
+				return c.decode.symbols[c.decode.firstIndex[l]+int(offset)], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("huffman: corrupt stream (no code within %d bits)", c.decode.maxLen)
+}
+
+// WriteTable serializes the codebook: symbol count, then (symbol, length)
+// pairs. Canonical codes are reconstructed on read, so codes themselves
+// are not stored — this is the dictionary cost the paper contrasts with
+// PaSTRI's fixed trees (Sec. IV-C).
+func (c *Codec) WriteTable(w *bitio.Writer) {
+	w.WriteBits(uint64(len(c.symbols)), 32)
+	for i, sym := range c.symbols {
+		w.WriteBits(uint64(sym), 32)
+		w.WriteBits(uint64(c.lengths[i]), 6)
+	}
+}
+
+// TableBits returns the serialized codebook size in bits.
+func (c *Codec) TableBits() uint64 { return 32 + uint64(len(c.symbols))*38 }
+
+// ReadTable reconstructs a Codec from WriteTable output.
+func ReadTable(r *bitio.Reader) (*Codec, error) {
+	n, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<26 {
+		return nil, fmt.Errorf("huffman: implausible table size %d", n)
+	}
+	c := &Codec{
+		symbols: make([]uint32, n),
+		lengths: make([]uint8, n),
+	}
+	for i := range c.symbols {
+		s, err := r.ReadBits(32)
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		c.symbols[i] = uint32(s)
+		c.lengths[i] = uint8(l)
+	}
+	// Validate canonical ordering.
+	for i := 1; i < len(c.symbols); i++ {
+		if c.lengths[i] < c.lengths[i-1] ||
+			(c.lengths[i] == c.lengths[i-1] && c.symbols[i] <= c.symbols[i-1]) {
+			return nil, fmt.Errorf("huffman: table not in canonical order at %d", i)
+		}
+	}
+	c.finish()
+	return c, nil
+}

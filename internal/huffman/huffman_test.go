@@ -1,0 +1,191 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func roundTrip(t *testing.T, data []uint32) {
+	t.Helper()
+	freqs := map[uint32]uint64{}
+	for _, s := range data {
+		freqs[s]++
+	}
+	enc, err := New(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	enc.WriteTable(w)
+	if got := w.BitLen(); got != enc.TableBits() {
+		t.Fatalf("TableBits = %d but wrote %d", enc.TableBits(), got)
+	}
+	for _, s := range data {
+		if err := enc.EncodeSymbol(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes())
+	dec, err := ReadTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range data {
+		got, err := dec.DecodeSymbol(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []uint32{1, 1, 1, 2, 2, 3})
+	roundTrip(t, []uint32{42})
+	roundTrip(t, []uint32{7, 7, 7, 7})
+	roundTrip(t, []uint32{0, 1<<31 - 1, 0, 5, 5, 5, 5, 5, 5, 5})
+}
+
+func TestSkewedDistributionCompresses(t *testing.T) {
+	// 95% zeros: the dominant symbol must get a short code.
+	data := make([]uint32, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		if rng.Intn(20) == 0 {
+			data[i] = uint32(rng.Intn(100) + 1)
+		}
+	}
+	freqs := map[uint32]uint64{}
+	for _, s := range data {
+		freqs[s]++
+	}
+	c, err := New(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := c.CodeLen(0); l > 2 {
+		t.Fatalf("dominant symbol got %d-bit code", l)
+	}
+	// Total encoded size well under fixed-length (7 bits × 10000).
+	total := uint64(0)
+	for s, f := range freqs {
+		total += uint64(c.CodeLen(s)) * f
+	}
+	if total > 30000 {
+		t.Fatalf("encoded size %d bits, expected < 30000", total)
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	freqs := map[uint32]uint64{}
+	for i := 0; i < 300; i++ {
+		freqs[uint32(i)] = uint64(rng.Intn(10000) + 1)
+	}
+	c, err := New(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ 2^(−l) must equal 1 for a complete prefix code.
+	sum := 0.0
+	for _, l := range c.lengths {
+		sum += 1 / float64(uint64(1)<<l)
+	}
+	if sum > 1.0000001 || sum < 0.9999999 {
+		t.Fatalf("Kraft sum = %v", sum)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, alphabet uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%2000 + 1
+		syms := int(alphabet)%64 + 1
+		data := make([]uint32, count)
+		for i := range data {
+			// Zipf-ish skew.
+			data[i] = uint32(rng.Intn(rng.Intn(syms) + 1))
+		}
+		freqs := map[uint32]uint64{}
+		for _, s := range data {
+			freqs[s]++
+		}
+		enc, err := New(freqs)
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(0)
+		enc.WriteTable(w)
+		for _, s := range data {
+			if enc.EncodeSymbol(w, s) != nil {
+				return false
+			}
+		}
+		r := bitio.NewReader(w.Bytes())
+		dec, err := ReadTable(r)
+		if err != nil {
+			return false
+		}
+		for _, want := range data {
+			got, err := dec.DecodeSymbol(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty frequency map accepted")
+	}
+	if _, err := New(map[uint32]uint64{5: 0}); err == nil {
+		t.Error("all-zero frequencies accepted")
+	}
+	c, err := New(map[uint32]uint64{1: 3, 2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	if err := c.EncodeSymbol(w, 99); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+	// Corrupt table.
+	w2 := bitio.NewWriter(0)
+	w2.WriteBits(1<<30, 32)
+	if _, err := ReadTable(bitio.NewReader(w2.Bytes())); err == nil {
+		t.Error("implausible table accepted")
+	}
+}
+
+func TestDeterministicTree(t *testing.T) {
+	freqs := map[uint32]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		freqs[uint32(i)] = uint64(rng.Intn(5) + 1) // many frequency ties
+	}
+	a, err := New(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b, err := New(freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.symbols {
+			if a.symbols[i] != b.symbols[i] || a.lengths[i] != b.lengths[i] {
+				t.Fatal("tree construction not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package iosim models the parallel-I/O experiments of the paper's
+// evaluation (Fig. 10 and Fig. 11) analytically. The paper ran
+// file-per-process POSIX I/O against GPFS on the Bebop cluster; the
+// elapsed time of a dump or load is governed by
+//
+//	time = per-file latency + bytes / min(per-process BW, aggregate BW / P)
+//
+// plus the (measured) compression or decompression time. We feed the
+// model with codec rates and ratios measured on this machine, so the
+// *shape* of the figures — who wins, by how much, how it scales with
+// core count — reproduces, while absolute seconds depend on the
+// parameterization (see DESIGN.md's substitution table).
+package iosim
+
+import (
+	"fmt"
+	"time"
+)
+
+// PFSConfig parameterizes the parallel file system.
+type PFSConfig struct {
+	AggregateWriteBW  float64       // bytes/s across all processes
+	AggregateReadBW   float64       // bytes/s across all processes
+	PerProcessWriteBW float64       // bytes/s cap per process (POSIX stream)
+	PerProcessReadBW  float64       // bytes/s cap per process
+	FileLatency       time.Duration // open/close + metadata per file
+}
+
+// GPFSDefaults returns a GPFS configuration in the class of the paper's
+// Bebop system: tens of GB/s aggregate, a few hundred MB/s per POSIX
+// stream.
+func GPFSDefaults() PFSConfig {
+	return PFSConfig{
+		AggregateWriteBW:  20e9,
+		AggregateReadBW:   30e9,
+		PerProcessWriteBW: 250e6,
+		PerProcessReadBW:  350e6,
+		FileLatency:       20 * time.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c PFSConfig) Validate() error {
+	if c.AggregateWriteBW <= 0 || c.AggregateReadBW <= 0 ||
+		c.PerProcessWriteBW <= 0 || c.PerProcessReadBW <= 0 {
+		return fmt.Errorf("iosim: bandwidths must be positive: %+v", c)
+	}
+	if c.FileLatency < 0 {
+		return fmt.Errorf("iosim: negative latency")
+	}
+	return nil
+}
+
+// CodecProfile carries the measured behaviour of one compressor on one
+// dataset: the achieved ratio and the per-core (de)compression
+// throughputs in raw bytes per second. Ratio 1 with infinite rates
+// models "no compression".
+type CodecProfile struct {
+	Name          string
+	Ratio         float64
+	CompressBps   float64
+	DecompressBps float64
+}
+
+// Uncompressed is the no-compressor profile.
+var Uncompressed = CodecProfile{Name: "none", Ratio: 1}
+
+// Phase breaks an elapsed dump or load into its components.
+type Phase struct {
+	Compress   time.Duration
+	Write      time.Duration
+	Read       time.Duration
+	Decompress time.Duration
+}
+
+// Total returns the summed elapsed time.
+func (p Phase) Total() time.Duration {
+	return p.Compress + p.Write + p.Read + p.Decompress
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Dump models compressing and writing totalRawBytes spread evenly over
+// procs processes (file-per-process).
+func Dump(cfg PFSConfig, c CodecProfile, totalRawBytes float64, procs int) (Phase, error) {
+	if err := cfg.Validate(); err != nil {
+		return Phase{}, err
+	}
+	if procs <= 0 || totalRawBytes < 0 || c.Ratio <= 0 {
+		return Phase{}, fmt.Errorf("iosim: invalid dump parameters (procs=%d bytes=%g ratio=%g)",
+			procs, totalRawBytes, c.Ratio)
+	}
+	perProcRaw := totalRawBytes / float64(procs)
+	perProcComp := perProcRaw / c.Ratio
+	var ph Phase
+	if c.CompressBps > 0 {
+		ph.Compress = seconds(perProcRaw / c.CompressBps)
+	}
+	bw := cfg.PerProcessWriteBW
+	if agg := cfg.AggregateWriteBW / float64(procs); agg < bw {
+		bw = agg
+	}
+	ph.Write = cfg.FileLatency + seconds(perProcComp/bw)
+	return ph, nil
+}
+
+// Load models reading and decompressing totalRawBytes spread evenly
+// over procs processes.
+func Load(cfg PFSConfig, c CodecProfile, totalRawBytes float64, procs int) (Phase, error) {
+	if err := cfg.Validate(); err != nil {
+		return Phase{}, err
+	}
+	if procs <= 0 || totalRawBytes < 0 || c.Ratio <= 0 {
+		return Phase{}, fmt.Errorf("iosim: invalid load parameters (procs=%d bytes=%g ratio=%g)",
+			procs, totalRawBytes, c.Ratio)
+	}
+	perProcRaw := totalRawBytes / float64(procs)
+	perProcComp := perProcRaw / c.Ratio
+	var ph Phase
+	bw := cfg.PerProcessReadBW
+	if agg := cfg.AggregateReadBW / float64(procs); agg < bw {
+		bw = agg
+	}
+	ph.Read = cfg.FileLatency + seconds(perProcComp/bw)
+	if c.DecompressBps > 0 {
+		ph.Decompress = seconds(perProcRaw / c.DecompressBps)
+	}
+	return ph, nil
+}
+
+// SharedFileConfig extends PFSConfig for MPI-IO-style shared-file
+// collective I/O: all processes write one file through collective
+// buffering, paying a per-operation coordination cost but avoiding
+// per-file metadata. The paper's footnote 1 notes POSIX file-per-process
+// and MPI-IO perform similarly at thousands-of-files scale on GPFS
+// (Turner, ARCHER webinar 2017); this model reproduces that
+// equivalence.
+type SharedFileConfig struct {
+	PFSConfig
+	// CollectiveOverhead is the per-process coordination cost of a
+	// collective operation (two-phase I/O exchange).
+	CollectiveOverhead time.Duration
+	// LockContention scales throughput down as processes contend for
+	// file-range locks: effective aggregate = aggregate / (1 + c·log2(P)).
+	LockContention float64
+}
+
+// SharedFileDefaults returns an MPI-IO-on-GPFS-class parameterization.
+func SharedFileDefaults() SharedFileConfig {
+	return SharedFileConfig{
+		PFSConfig:          GPFSDefaults(),
+		CollectiveOverhead: 50 * time.Millisecond,
+		LockContention:     0.01,
+	}
+}
+
+// DumpShared models compressing and collectively writing totalRawBytes
+// over procs processes into one shared file.
+func DumpShared(cfg SharedFileConfig, c CodecProfile, totalRawBytes float64, procs int) (Phase, error) {
+	if err := cfg.Validate(); err != nil {
+		return Phase{}, err
+	}
+	if procs <= 0 || totalRawBytes < 0 || c.Ratio <= 0 || cfg.LockContention < 0 {
+		return Phase{}, fmt.Errorf("iosim: invalid shared-dump parameters")
+	}
+	perProcRaw := totalRawBytes / float64(procs)
+	var ph Phase
+	if c.CompressBps > 0 {
+		ph.Compress = seconds(perProcRaw / c.CompressBps)
+	}
+	agg := cfg.AggregateWriteBW / (1 + cfg.LockContention*log2(float64(procs)))
+	bw := cfg.PerProcessWriteBW
+	if a := agg / float64(procs); a < bw {
+		bw = a
+	}
+	ph.Write = cfg.CollectiveOverhead + seconds(perProcRaw/c.Ratio/bw)
+	return ph, nil
+}
+
+// LoadShared models the collective read + decompress path.
+func LoadShared(cfg SharedFileConfig, c CodecProfile, totalRawBytes float64, procs int) (Phase, error) {
+	if err := cfg.Validate(); err != nil {
+		return Phase{}, err
+	}
+	if procs <= 0 || totalRawBytes < 0 || c.Ratio <= 0 || cfg.LockContention < 0 {
+		return Phase{}, fmt.Errorf("iosim: invalid shared-load parameters")
+	}
+	perProcRaw := totalRawBytes / float64(procs)
+	var ph Phase
+	agg := cfg.AggregateReadBW / (1 + cfg.LockContention*log2(float64(procs)))
+	bw := cfg.PerProcessReadBW
+	if a := agg / float64(procs); a < bw {
+		bw = a
+	}
+	ph.Read = cfg.CollectiveOverhead + seconds(perProcRaw/c.Ratio/bw)
+	if c.DecompressBps > 0 {
+		ph.Decompress = seconds(perProcRaw / c.DecompressBps)
+	}
+	return ph, nil
+}
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}
+
+// ReuseComparison models Fig. 11: obtaining the same integral data
+// `reuse` times, either by recomputing it every time ("Original"
+// GAMESS) or by computing once, compressing once, and decompressing on
+// each subsequent use (PaSTRI infrastructure). Disk time is excluded,
+// as in the paper ("the data is assumed to fit into the memory").
+// Rates are per-core raw bytes/s; totals scale out, so the ratio is
+// core-count independent.
+func ReuseComparison(eriGenBps float64, c CodecProfile, totalRawBytes float64, reuse int) (original, infra time.Duration, err error) {
+	if eriGenBps <= 0 || totalRawBytes < 0 || reuse < 1 {
+		return 0, 0, fmt.Errorf("iosim: invalid reuse parameters")
+	}
+	if c.CompressBps <= 0 || c.DecompressBps <= 0 {
+		return 0, 0, fmt.Errorf("iosim: codec %q lacks measured rates", c.Name)
+	}
+	original = seconds(float64(reuse) * totalRawBytes / eriGenBps)
+	infra = seconds(totalRawBytes/eriGenBps +
+		totalRawBytes/c.CompressBps +
+		float64(reuse)*totalRawBytes/c.DecompressBps)
+	return original, infra, nil
+}

@@ -1,0 +1,184 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+var pastri = CodecProfile{Name: "PaSTRI", Ratio: 16.8, CompressBps: 660e6, DecompressBps: 1110e6}
+var szp = CodecProfile{Name: "SZ", Ratio: 7.24, CompressBps: 104e6, DecompressBps: 148e6}
+var zfpp = CodecProfile{Name: "ZFP", Ratio: 5.92, CompressBps: 308e6, DecompressBps: 260e6}
+
+const tb = 1e12
+
+func TestDumpFasterWithBetterRatio(t *testing.T) {
+	cfg := GPFSDefaults()
+	for _, procs := range []int{256, 512, 1024, 2048} {
+		p, err := Dump(cfg, pastri, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Dump(cfg, szp, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := Dump(cfg, zfpp, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's headline: PaSTRI ≥ 2× faster than both.
+		if p.Total()*2 > s.Total() || p.Total()*2 > z.Total() {
+			t.Errorf("procs=%d: PaSTRI %v not 2x faster than SZ %v / ZFP %v",
+				procs, p.Total(), s.Total(), z.Total())
+		}
+	}
+}
+
+func TestLoadDominatedByReadPlusDecompress(t *testing.T) {
+	cfg := GPFSDefaults()
+	l, err := Load(cfg, szp, tb, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Read <= 0 || l.Decompress <= 0 || l.Compress != 0 || l.Write != 0 {
+		t.Fatalf("phase breakdown wrong: %+v", l)
+	}
+	if l.Total() != l.Read+l.Decompress {
+		t.Fatalf("total %v != read+decompress", l.Total())
+	}
+}
+
+func TestScalingMonotonic(t *testing.T) {
+	cfg := GPFSDefaults()
+	var prev time.Duration
+	for i, procs := range []int{256, 512, 1024, 2048} {
+		d, err := Dump(cfg, pastri, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && d.Total() > prev {
+			t.Errorf("dump time grew from %v to %v at %d procs", prev, d.Total(), procs)
+		}
+		prev = d.Total()
+	}
+}
+
+func TestAggregateBandwidthCap(t *testing.T) {
+	cfg := GPFSDefaults()
+	// With enormous process counts the aggregate cap dominates: doubling
+	// processes must no longer halve write time.
+	a, _ := Dump(cfg, Uncompressed, tb, 1<<14)
+	b, _ := Dump(cfg, Uncompressed, tb, 1<<15)
+	ratio := float64(a.Write-cfg.FileLatency) / float64(b.Write-cfg.FileLatency)
+	if ratio > 1.01 {
+		t.Fatalf("aggregate cap not enforced: %v vs %v", a.Write, b.Write)
+	}
+}
+
+func TestUncompressedIsSlowestToWrite(t *testing.T) {
+	cfg := GPFSDefaults()
+	raw, _ := Dump(cfg, Uncompressed, tb, 512)
+	comp, _ := Dump(cfg, pastri, tb, 512)
+	if raw.Write <= comp.Total() {
+		t.Fatalf("raw write %v should dwarf compressed dump %v (the paper's 'thousands of seconds')",
+			raw.Write, comp.Total())
+	}
+}
+
+func TestReuseComparison(t *testing.T) {
+	// Paper Fig. 11: ERI generation ≈ 322.8 MB/s for (dd|dd); reuse 20.
+	orig, infra, err := ReuseComparison(322.8e6, pastri, tb, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infra >= orig {
+		t.Fatalf("PaSTRI infra %v not faster than recompute %v", infra, orig)
+	}
+	// Speedup should be substantial (decompress ≫ generate).
+	if float64(orig)/float64(infra) < 2.5 {
+		t.Fatalf("speedup only %.2fx", float64(orig)/float64(infra))
+	}
+	// reuse = 1 must favor recompute (compression overhead unamortized).
+	orig1, infra1, err := ReuseComparison(322.8e6, pastri, tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infra1 <= orig1 {
+		t.Fatalf("with no reuse, infra %v should cost more than %v", infra1, orig1)
+	}
+}
+
+// The paper's footnote 1: POSIX file-per-process and MPI-IO shared-file
+// perform comparably at these scales on GPFS.
+func TestSharedFileComparableToFilePerProcess(t *testing.T) {
+	pfsCfg := GPFSDefaults()
+	shCfg := SharedFileDefaults()
+	for _, procs := range []int{256, 1024, 2048} {
+		fpp, err := Dump(pfsCfg, pastri, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := DumpShared(shCfg, pastri, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(sh.Total()) / float64(fpp.Total())
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("procs=%d: shared/file-per-process = %.2f, want within 2x", procs, ratio)
+		}
+		lsh, err := LoadShared(shCfg, pastri, tb, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsh.Read <= 0 || lsh.Decompress <= 0 {
+			t.Errorf("procs=%d: shared load phases %+v", procs, lsh)
+		}
+	}
+	// PaSTRI's advantage survives the I/O mode change.
+	shP, _ := DumpShared(shCfg, pastri, tb, 1024)
+	shS, _ := DumpShared(shCfg, szp, tb, 1024)
+	if shP.Total()*2 > shS.Total() {
+		t.Errorf("shared-file: PaSTRI %v not 2x faster than SZ %v", shP.Total(), shS.Total())
+	}
+}
+
+func TestSharedFileValidation(t *testing.T) {
+	cfg := SharedFileDefaults()
+	if _, err := DumpShared(cfg, pastri, tb, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := LoadShared(cfg, CodecProfile{Ratio: 0}, tb, 8); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	bad := SharedFileConfig{}
+	if _, err := DumpShared(bad, pastri, tb, 8); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := PFSConfig{}
+	if _, err := Dump(bad, pastri, tb, 10); err == nil {
+		t.Error("invalid config accepted by Dump")
+	}
+	if _, err := Load(bad, pastri, tb, 10); err == nil {
+		t.Error("invalid config accepted by Load")
+	}
+	cfg := GPFSDefaults()
+	if _, err := Dump(cfg, pastri, tb, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Dump(cfg, CodecProfile{Ratio: -1}, tb, 1); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, _, err := ReuseComparison(0, pastri, tb, 20); err == nil {
+		t.Error("zero generation rate accepted")
+	}
+	if _, _, err := ReuseComparison(1e6, Uncompressed, tb, 20); err == nil {
+		t.Error("profile without rates accepted")
+	}
+	cfg.FileLatency = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

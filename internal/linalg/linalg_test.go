@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSym(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("c[%d] = %g, want %g", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTransposeTrace(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Fatalf("transpose wrong: %+v", at.Data)
+	}
+	if a.Trace() != 5 {
+		t.Fatalf("trace = %g", a.Trace())
+	}
+}
+
+func TestEigSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromSlice(2, 2, []float64{2, 1, 1, 2})
+	w, V, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-12 || math.Abs(w[1]-3) > 1e-12 {
+		t.Fatalf("eigenvalues %v", w)
+	}
+	// Check A·v = w·v.
+	for c := 0; c < 2; c++ {
+		for r := 0; r < 2; r++ {
+			av := a.At(r, 0)*V.At(0, c) + a.At(r, 1)*V.At(1, c)
+			if math.Abs(av-w[c]*V.At(r, c)) > 1e-12 {
+				t.Fatalf("A·v ≠ w·v at col %d row %d", c, r)
+			}
+		}
+	}
+}
+
+// Property: for random symmetric A, V·diag(w)·Vᵀ reconstructs A and V is
+// orthogonal.
+func TestQuickEigSymReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		A := randomSym(rng, n)
+		w, V, err := EigSym(A)
+		if err != nil {
+			return false
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if w[i] < w[i-1] {
+				return false
+			}
+		}
+		D := NewMatrix(n, n)
+		for i, wi := range w {
+			D.Set(i, i, wi)
+		}
+		recon := Mul(Mul(V, D), V.Transpose())
+		if MaxAbsDiff(recon, A) > 1e-9 {
+			return false
+		}
+		I := Mul(V.Transpose(), V)
+		for i := 0; i < n; i++ {
+			I.Set(i, i, I.At(i, i)-1)
+		}
+		for _, v := range I.Data {
+			if math.Abs(v) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigSymRejectsAsymmetric(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := EigSym(a); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, _, err := EigSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestSymOrth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Build an SPD matrix S = MᵀM + I.
+	n := 6
+	M := NewMatrix(n, n)
+	for i := range M.Data {
+		M.Data[i] = rng.NormFloat64() * 0.3
+	}
+	S := Mul(M.Transpose(), M)
+	for i := 0; i < n; i++ {
+		S.Set(i, i, S.At(i, i)+1)
+	}
+	X, err := SymOrth(S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XᵀSX = I.
+	I := Mul(Mul(X.Transpose(), S), X)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(I.At(i, j)-want) > 1e-10 {
+				t.Fatalf("XᵀSX[%d][%d] = %g", i, j, I.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSymOrthRejectsSingular(t *testing.T) {
+	S := NewMatrix(2, 2) // zero matrix
+	if _, err := SymOrth(S); err == nil {
+		t.Fatal("singular overlap accepted")
+	}
+}
+
+func TestFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestClone(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}

@@ -1,0 +1,85 @@
+package lossless
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 3000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+	}
+	data[0] = math.NaN()
+	data[1] = math.Inf(1)
+	data[2] = -0.0
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float64bits(got[i]) != math.Float64bits(data[i]) {
+			t.Fatalf("element %d not bit-exact: %x vs %x", i,
+				math.Float64bits(got[i]), math.Float64bits(data[i]))
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	comp, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d elements", len(got))
+	}
+}
+
+func TestCompressibleData(t *testing.T) {
+	data := make([]float64, 10000) // zeros compress very well
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(data)*8) / float64(len(comp)); ratio < 50 {
+		t.Fatalf("zeros only compressed %.1fx", ratio)
+	}
+}
+
+// The paper's premise (Sec. II): random scientific doubles barely
+// compress losslessly (ratio ≈ 1.1–2).
+func TestRandomDoublesBarelyCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 1e-7
+	}
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(data)*8) / float64(len(comp))
+	if ratio > 2.5 {
+		t.Fatalf("random doubles compressed %.2fx — not believable", ratio)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte{1}); err == nil {
+		t.Error("short stream accepted")
+	}
+	comp, _ := Compress([]float64{1, 2, 3})
+	if _, err := Decompress(comp[:10]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAnalyze(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	block, _ := syntheticBlock(rng, 36, 36, 1e-12)
+	for _, m := range Metrics {
+		b.Run(m.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(block) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(block, 36, 36, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

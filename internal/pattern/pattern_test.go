@@ -1,0 +1,210 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// syntheticBlock builds a block of numSB sub-blocks, each an exact scalar
+// multiple of a shared shape, plus optional noise.
+func syntheticBlock(rng *rand.Rand, numSB, sbSize int, noise float64) ([]float64, []float64) {
+	shape := make([]float64, sbSize)
+	for i := range shape {
+		shape[i] = rng.NormFloat64()
+	}
+	block := make([]float64, numSB*sbSize)
+	scales := make([]float64, numSB)
+	for s := 0; s < numSB; s++ {
+		scales[s] = rng.Float64()*2 - 1
+		for i := 0; i < sbSize; i++ {
+			block[s*sbSize+i] = scales[s]*shape[i] + noise*rng.NormFloat64()
+		}
+	}
+	return block, scales
+}
+
+func TestAnalyzeGeometryErrors(t *testing.T) {
+	if _, err := Analyze(make([]float64, 10), 3, 4, ER); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := Analyze(nil, 0, 4, ER); err == nil {
+		t.Fatal("expected invalid geometry error")
+	}
+	if _, err := Analyze(make([]float64, 12), 3, 4, Metric(99)); err == nil {
+		t.Fatal("expected unknown metric error")
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	want := map[Metric]string{FR: "FR", ER: "ER", AR: "AR", AAR: "AAR", IS: "IS"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%v.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if Metric(42).String() != "Metric(42)" {
+		t.Errorf("unknown metric String: %q", Metric(42).String())
+	}
+}
+
+// On an exactly scalable block, every metric must recover the structure
+// perfectly: residuals are ~0.
+func TestExactPatternRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range Metrics {
+		block, _ := syntheticBlock(rng, 6, 36, 0)
+		res, err := Analyze(block, 6, 36, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		devs := Deviations(block, 6, 36, res)
+		maxDev := 0.0
+		for _, d := range devs {
+			if a := math.Abs(d); a > maxDev {
+				maxDev = a
+			}
+		}
+		if maxDev > 1e-12 {
+			t.Errorf("%v: max residual %g on exactly scalable block", m, maxDev)
+		}
+	}
+}
+
+// Property: scales are always within [-1, 1] and the pattern's own scale
+// is exactly 1, for every metric, even on random (non-patterned) data.
+func TestQuickScaleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numSB := rng.Intn(8) + 1
+		sbSize := rng.Intn(50) + 1
+		block := make([]float64, numSB*sbSize)
+		for i := range block {
+			block[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+		}
+		for _, m := range Metrics {
+			res, err := Analyze(block, numSB, sbSize, m)
+			if err != nil {
+				return false
+			}
+			if res.Scales[res.PatternIndex] != 1 {
+				return false
+			}
+			for _, s := range res.Scales {
+				if s < -1 || s > 1 || math.IsNaN(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERPicksExtremumSubBlock(t *testing.T) {
+	block := []float64{
+		0.1, -0.2, 0.3, 0.0, // sub-block 0
+		0.2, -0.4, 0.6, 0.0, // sub-block 1
+		-0.5, 1.0, -9.0, 0.0, // sub-block 2 (extremum -9 at local pos 2)
+	}
+	res, err := Analyze(block, 3, 4, ER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PatternIndex != 2 {
+		t.Fatalf("PatternIndex = %d, want 2", res.PatternIndex)
+	}
+	if res.RefPos != 2 {
+		t.Fatalf("RefPos = %d, want 2", res.RefPos)
+	}
+	// Sub-block 0's coefficient = 0.3 / -9.0.
+	if got, want := res.Scales[0], 0.3/-9.0; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Scales[0] = %g, want %g", got, want)
+	}
+}
+
+func TestFRPicksLargestFirst(t *testing.T) {
+	block := []float64{
+		0.1, 5.0, // sub-block 0 (first = 0.1)
+		-2.0, 1.0, // sub-block 1 (first = -2.0, largest |first|)
+		0.5, 0.0, // sub-block 2
+	}
+	res, err := Analyze(block, 3, 2, FR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PatternIndex != 1 || res.RefPos != 0 {
+		t.Fatalf("PatternIndex=%d RefPos=%d, want 1, 0", res.PatternIndex, res.RefPos)
+	}
+	if got, want := res.Scales[2], 0.5/-2.0; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Scales[2] = %g, want %g", got, want)
+	}
+}
+
+// Sign correction: AAR and IS on an inverted copy must flip the sign of
+// the coefficient so residuals stay small.
+func TestSignCorrection(t *testing.T) {
+	shape := []float64{1, -2, 3, -4, 2, 0.5}
+	block := make([]float64, 0, 12)
+	block = append(block, shape...)
+	for _, x := range shape {
+		block = append(block, -0.5*x) // inverted, half amplitude
+	}
+	for _, m := range []Metric{AAR, IS} {
+		res, err := Analyze(block, 2, 6, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs := Deviations(block, 2, 6, res)
+		for i, d := range devs {
+			if math.Abs(d) > 1e-12 {
+				t.Errorf("%v: residual[%d] = %g (sign correction failed?)", m, i, d)
+			}
+		}
+	}
+}
+
+func TestAllZeroBlock(t *testing.T) {
+	block := make([]float64, 24)
+	for _, m := range Metrics {
+		res, err := Analyze(block, 4, 6, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i, s := range res.Scales {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("%v: Scales[%d] = %g on zero block", m, i, s)
+			}
+		}
+	}
+}
+
+// ER residuals on a realistic near-pattern block stay far below the
+// sub-block amplitudes — this is the observation of Fig. 3(d).
+func TestERResidualsSmallOnNoisyPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	block, _ := syntheticBlock(rng, 6, 36, 1e-9)
+	res, err := Analyze(block, 6, 36, ER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := Deviations(block, 6, 36, res)
+	amp, _ := maxAbs(block)
+	dmax, _ := maxAbs(devs)
+	if dmax > amp*1e-6 {
+		t.Fatalf("residual %g too large vs amplitude %g", dmax, amp)
+	}
+}
+
+func maxAbs(xs []float64) (float64, int) {
+	best, idx := 0.0, -1
+	for i, x := range xs {
+		if a := math.Abs(x); a > best || idx == -1 {
+			best, idx = a, i
+		}
+	}
+	return best, idx
+}

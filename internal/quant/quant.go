@@ -1,0 +1,116 @@
+// Package quant implements the quantization arithmetic of PaSTRI
+// (Sec. IV-B of the paper): linear-scaling quantization of patterns,
+// scaling coefficients and error-correction values, plus the bin/bit-width
+// bookkeeping used by the encoder to size its codes.
+//
+// All quantizers here are mid-tread uniform quantizers
+//
+//	Q(x) = round(x / binSize),   x̂ = Q(x) · binSize,
+//
+// whose reconstruction error is bounded by binSize/2. PaSTRI sets the EC
+// bin size to 2·EB so the error-correction stage alone guarantees the
+// user's absolute error bound regardless of how well the pattern fits.
+package quant
+
+import (
+	"math"
+)
+
+// Quantize maps x onto the integer grid with the given bin size.
+func Quantize(x, binSize float64) int64 {
+	return int64(math.Round(x / binSize))
+}
+
+// Dequantize reconstructs the value represented by quantum q.
+func Dequantize(q int64, binSize float64) float64 {
+	return float64(q) * binSize
+}
+
+// BitsForValue returns the minimum number of bits i such that v lies in
+// the symmetric range of bin i, following Fig. 6 of the paper:
+// bin 1 holds {0}, bin 2 holds {−1, +1}, bin i holds ±[2^(i−2), 2^(i−1)−1].
+func BitsForValue(v int64) uint {
+	if v == 0 {
+		return 1
+	}
+	if v < 0 {
+		v = -v
+	}
+	return uint(bitLen(uint64(v))) + 1
+}
+
+// bitLen returns the number of bits in the binary representation of u.
+func bitLen(u uint64) int {
+	n := 0
+	for u != 0 {
+		u >>= 1
+		n++
+	}
+	return n
+}
+
+// BitsForRange returns the fixed-length symbol width needed for a signed
+// quantity whose quanta span [-maxAbs, +maxAbs]: EC_b = ceil(log2(range))
+// per eq. (8), with range = 2·maxAbs + 1 values. It always returns at
+// least 1.
+func BitsForRange(maxAbs int64) uint {
+	if maxAbs <= 0 {
+		return 1
+	}
+	// A width of b two's-complement bits covers [-2^(b-1), 2^(b-1)-1];
+	// we need maxAbs <= 2^(b-1)-1 ... but the paper's convention (and bin
+	// numbering) uses b = BitsForValue(maxAbs), which covers ±maxAbs since
+	// -2^(b-1) <= -maxAbs and maxAbs <= 2^(b-1)-1 when maxAbs < 2^(b-1).
+	return BitsForValue(maxAbs)
+}
+
+// PatternBits computes P_b, the number of bits needed to store quantized
+// pattern points whose extremum is pExt, when quantized with bin size
+// 2·eb (the paper's practical method, Sec. IV-B): the largest quantum is
+// round(|pExt|/(2·eb)) and P_b is the two's-complement width covering it.
+func PatternBits(pExt, eb float64) uint {
+	if eb <= 0 {
+		panic("quant: error bound must be positive")
+	}
+	maxQ := int64(math.Round(math.Abs(pExt) / (2 * eb)))
+	return BitsForRange(maxQ)
+}
+
+// ScaleBinSize returns S_binsize for a scale coefficient stored in sb
+// bits. Scale coefficients lie in [-1, 1] (range 2), so the bin size is
+// 2 / 2^sb = 2^(1-sb).
+func ScaleBinSize(sb uint) float64 {
+	return math.Ldexp(1, 1-int(sb))
+}
+
+// ClampSigned limits q to the representable two's-complement range of
+// `width` bits. Quantization of values right at the range edge can
+// otherwise overflow by one quantum after rounding.
+func ClampSigned(q int64, width uint) int64 {
+	if width >= 64 {
+		return q
+	}
+	max := int64(1)<<(width-1) - 1
+	min := -int64(1) << (width - 1)
+	if q > max {
+		return max
+	}
+	if q < min {
+		return min
+	}
+	return q
+}
+
+// MaxAbs returns the maximum absolute value in xs and its index. For an
+// empty slice it returns (0, -1).
+func MaxAbs(xs []float64) (float64, int) {
+	best, idx := 0.0, -1
+	for i, x := range xs {
+		a := math.Abs(x)
+		if a > best || idx == -1 {
+			best = a
+			idx = i
+		}
+	}
+	return best, idx
+}

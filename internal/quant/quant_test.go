@@ -1,0 +1,131 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeDequantizeErrorBound(t *testing.T) {
+	f := func(x float64, binScale uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true // skip pathological inputs
+		}
+		bin := math.Ldexp(1, -int(binScale%40)) // bin sizes 1 .. 2^-39
+		q := Quantize(x, bin)
+		err := math.Abs(Dequantize(q, bin) - x)
+		return err <= bin/2*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsForValue(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want uint
+	}{
+		{0, 1}, {1, 2}, {-1, 2}, {2, 3}, {3, 3}, {-3, 3}, {4, 4},
+		{6, 4}, {7, 4}, {8, 5}, {-8, 5}, {15, 5}, {16, 6},
+		{1 << 20, 22}, {(1 << 21) - 1, 22},
+	}
+	for _, c := range cases {
+		if got := BitsForValue(c.v); got != c.want {
+			t.Errorf("BitsForValue(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: a value always fits in the two's-complement width reported
+// for it, and never in one bit fewer (except 0, which needs its 1 bit).
+func TestBitsForValueTight(t *testing.T) {
+	f := func(v int32) bool {
+		b := BitsForValue(int64(v))
+		if b > 64 {
+			return false
+		}
+		fits := func(v int64, w uint) bool {
+			return v >= -(int64(1)<<(w-1)) && v <= int64(1)<<(w-1)-1
+		}
+		if !fits(int64(v), b) {
+			return false
+		}
+		if v != 0 && v != -1 && b > 1 && fits(int64(v), b-1) && v > 0 {
+			// positive values must NOT fit one bit narrower... except the
+			// bin convention makes ±2^(i-2) the smallest member of bin i,
+			// so e.g. v=1 has b=2, and 1 does not fit in 1 signed bit. OK.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternBits(t *testing.T) {
+	eb := 1e-10
+	// Extremum 1e-7 → max quantum = 1e-7/(2e-10) = 500 → needs 10+1 bits?
+	// 500 in binary is 111110100 (9 bits) → BitsForValue = 10.
+	if got := PatternBits(1e-7, eb); got != 10 {
+		t.Errorf("PatternBits(1e-7, 1e-10) = %d, want 10", got)
+	}
+	if got := PatternBits(0, eb); got != 1 {
+		t.Errorf("PatternBits(0) = %d, want 1", got)
+	}
+	// Paper's example, Sec. IV-B: P range [-1e-7, 1e-7] at EB=1e-10 gives
+	// P_b = 10.
+	if got := PatternBits(-1e-7, eb); got != 10 {
+		t.Errorf("PatternBits(-1e-7) = %d, want 10", got)
+	}
+}
+
+func TestScaleBinSize(t *testing.T) {
+	// sb bits cover range 2 → bin = 2^(1-sb).
+	if got := ScaleBinSize(1); got != 1 {
+		t.Errorf("ScaleBinSize(1) = %g, want 1", got)
+	}
+	if got := ScaleBinSize(10); got != math.Ldexp(1, -9) {
+		t.Errorf("ScaleBinSize(10) = %g", got)
+	}
+	// Quantizing S=±1 with that bin and clamping must stay within sb bits
+	// and reconstruct within one bin.
+	for sb := uint(2); sb <= 40; sb += 7 {
+		bin := ScaleBinSize(sb)
+		q := ClampSigned(Quantize(1.0, bin), sb)
+		if err := math.Abs(Dequantize(q, bin) - 1.0); err > bin {
+			t.Errorf("sb=%d: |S-Ŝ| = %g > bin %g", sb, err, bin)
+		}
+	}
+}
+
+func TestClampSigned(t *testing.T) {
+	if got := ClampSigned(130, 8); got != 127 {
+		t.Errorf("ClampSigned(130,8) = %d", got)
+	}
+	if got := ClampSigned(-130, 8); got != -128 {
+		t.Errorf("ClampSigned(-130,8) = %d", got)
+	}
+	if got := ClampSigned(5, 8); got != 5 {
+		t.Errorf("ClampSigned(5,8) = %d", got)
+	}
+	if got := ClampSigned(1<<40, 64); got != 1<<40 {
+		t.Errorf("ClampSigned width 64 changed value")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	v, i := MaxAbs([]float64{0.1, -3.5, 2.0})
+	if v != 3.5 || i != 1 {
+		t.Errorf("MaxAbs = %g at %d", v, i)
+	}
+	v, i = MaxAbs(nil)
+	if v != 0 || i != -1 {
+		t.Errorf("MaxAbs(nil) = %g at %d", v, i)
+	}
+	v, i = MaxAbs([]float64{0, 0})
+	if v != 0 || i != 0 {
+		t.Errorf("MaxAbs(zeros) = %g at %d", v, i)
+	}
+}

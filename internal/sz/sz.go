@@ -1,0 +1,219 @@
+// Package sz implements an SZ-style error-bounded lossy compressor for
+// 1-D double-precision data, following the SZ 1.4 pipeline the paper
+// compares against (Di & Cappello IPDPS'16; Tao et al. IPDPS'17):
+//
+//  1. prediction from previously *reconstructed* values (Lorenzo
+//     preceding-neighbor by default; linear/quadratic curve-fitting
+//     models available for ablation),
+//  2. error-bounded linear-scaling quantization of the prediction
+//     residual into 2^16 codes,
+//  3. canonical Huffman coding of the quantization codes,
+//  4. raw IEEE-754 storage for unpredictable points (outliers).
+//
+// Like the real SZ, the predictor uses decompressed values so that the
+// decoder can reproduce the predictions exactly, which guarantees the
+// absolute error bound pointwise.
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+)
+
+// intvCapacity is the number of linear-scaling quantization codes
+// (SZ 1.4's default quantization_intervals, 2^16).
+const intvCapacity = 1 << 16
+
+// intvRadius is the code assigned to a zero residual.
+const intvRadius = intvCapacity / 2
+
+// outlierCode marks a point whose residual exceeds the quantization
+// range; its raw bits follow in the outlier section.
+const outlierCode = 0
+
+var magic = [4]byte{'S', 'Z', '1', 'D'}
+
+// Compress compresses data with absolute error bound eb.
+func Compress(data []float64, eb float64) ([]byte, error) {
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("sz: error bound must be positive and finite, got %g", eb)
+	}
+	n := len(data)
+	codes := make([]uint32, n)
+	var outliers []float64
+
+	// Pass 1: predict, quantize, reconstruct.
+	var r1, r2, r3 float64 // last three reconstructed values
+	valid := 0
+	freqs := make(map[uint32]uint64)
+	for i, v := range data {
+		pred := predict(r1, r2, r3, valid)
+		code := uint32(outlierCode)
+		residual := v - pred
+		q := math.Round(residual / (2 * eb))
+		var rec float64
+		if math.Abs(q) < intvRadius-1 && !math.IsNaN(q) {
+			code = uint32(int64(q) + intvRadius)
+			rec = pred + float64(int64(q))*2*eb
+		} else {
+			outliers = append(outliers, v)
+			rec = v
+		}
+		codes[i] = code
+		freqs[code]++
+		r3, r2, r1 = r2, r1, rec
+		if valid < 3 {
+			valid++
+		}
+	}
+
+	if len(freqs) == 0 {
+		freqs[intvRadius] = 1 // empty input still carries a valid table
+	}
+	codec, err := huffman.New(freqs)
+	if err != nil {
+		return nil, err
+	}
+
+	w := bitio.NewWriter(n) // rough hint
+	codec.WriteTable(w)
+	for _, c := range codes {
+		if err := codec.EncodeSymbol(w, c); err != nil {
+			return nil, err
+		}
+	}
+	bitPayload := w.Bytes()
+
+	out := make([]byte, 0, 4+1+8+8+8+len(bitPayload)+8*len(outliers))
+	out = append(out, magic[:]...)
+	out = append(out, 1) // version
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(eb))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(n))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(bitPayload)))
+	out = append(out, b8[:]...)
+	out = append(out, bitPayload...)
+	for _, o := range outliers {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(o))
+		out = append(out, b8[:]...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(comp []byte) ([]float64, error) {
+	if len(comp) < 29 {
+		return nil, fmt.Errorf("sz: stream too short")
+	}
+	if [4]byte(comp[:4]) != magic {
+		return nil, fmt.Errorf("sz: bad magic")
+	}
+	if comp[4] != 1 {
+		return nil, fmt.Errorf("sz: unsupported version %d", comp[4])
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(comp[5:13]))
+	n := binary.LittleEndian.Uint64(comp[13:21])
+	plen := binary.LittleEndian.Uint64(comp[21:29])
+	if uint64(len(comp)-29) < plen {
+		return nil, fmt.Errorf("sz: truncated code section")
+	}
+	// Every element consumes at least one bit of the code section; a
+	// corrupt count must not drive a giant allocation.
+	if n > plen*8 {
+		return nil, fmt.Errorf("sz: %d elements cannot fit in %d code bytes", n, plen)
+	}
+	r := bitio.NewReader(comp[29 : 29+plen])
+	codec, err := huffman.ReadTable(r)
+	if err != nil {
+		return nil, err
+	}
+	outBytes := comp[29+plen:]
+	outIdx := 0
+	nextOutlier := func() (float64, error) {
+		if outIdx+8 > len(outBytes) {
+			return 0, fmt.Errorf("sz: truncated outlier section")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(outBytes[outIdx:]))
+		outIdx += 8
+		return v, nil
+	}
+
+	out := make([]float64, n)
+	var r1, r2, r3 float64
+	valid := 0
+	for i := range out {
+		code, err := codec.DecodeSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		pred := predict(r1, r2, r3, valid)
+		var rec float64
+		if code == outlierCode {
+			rec, err = nextOutlier()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			q := int64(code) - intvRadius
+			rec = pred + float64(q)*2*eb
+		}
+		out[i] = rec
+		r3, r2, r1 = r2, r1, rec
+		if valid < 3 {
+			valid++
+		}
+	}
+	return out, nil
+}
+
+// predict extrapolates from previous reconstructed values. The default
+// order-1 model is the Lorenzo (preceding-neighbor) predictor SZ 1.4
+// uses on 1-D streams; orders 2 and 3 expose SZ 1.1's linear and
+// quadratic curve-fitting models for the ablation benchmarks (on jumpy
+// ERI streams the higher orders amplify noise and compress worse).
+func predict(r1, r2, r3 float64, valid int) float64 {
+	if valid > predictorOrder {
+		valid = predictorOrder
+	}
+	switch valid {
+	case 0:
+		return 0
+	case 1:
+		return r1 // constant
+	case 2:
+		return 2*r1 - r2 // linear
+	default:
+		return 3*r1 - 3*r2 + r3 // quadratic
+	}
+}
+
+// predictorOrder selects the prediction model (see SetPredictorOrder).
+var predictorOrder = 1
+
+// ErrorBound extracts the error bound recorded in a compressed stream.
+func ErrorBound(comp []byte) (float64, error) {
+	if len(comp) < 13 || [4]byte(comp[:4]) != magic {
+		return 0, fmt.Errorf("sz: not an SZ stream")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(comp[5:13])), nil
+}
+
+// SetPredictorOrder selects the prediction model: 1 = Lorenzo
+// (preceding value, the 1-D default), 2 = linear extrapolation,
+// 3 = quadratic extrapolation. It applies process-wide; intended for
+// the predictor ablation benchmark, not concurrent use with Compress.
+func SetPredictorOrder(n int) {
+	if n < 1 || n > 3 {
+		panic("sz: predictor order must be 1, 2 or 3")
+	}
+	predictorOrder = n
+}
+
+// PredictorOrder reports the current prediction model order.
+func PredictorOrder() int { return predictorOrder }

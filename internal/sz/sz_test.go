@@ -1,0 +1,150 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxAbsErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func roundTrip(t *testing.T, data []float64, eb float64) []byte {
+	t.Helper()
+	comp, err := Compress(data, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	if e := maxAbsErr(data, got); e > eb*(1+1e-9) {
+		t.Fatalf("max error %g exceeds bound %g", e, eb)
+	}
+	return comp
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.01) * 1e-6
+	}
+	comp := roundTrip(t, data, 1e-10)
+	ratio := float64(len(data)*8) / float64(len(comp))
+	if ratio < 8 {
+		t.Fatalf("smooth data ratio %.1f < 8", ratio)
+	}
+}
+
+func TestRandomDataErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-10))
+	}
+	roundTrip(t, data, 1e-10)
+}
+
+func TestEdgeCases(t *testing.T) {
+	roundTrip(t, []float64{}, 1e-10)
+	roundTrip(t, []float64{42}, 1e-10)
+	roundTrip(t, make([]float64, 100), 1e-10) // all zeros
+	roundTrip(t, []float64{1e300, -1e300, 0, 1e-300}, 1e-10)
+}
+
+func TestQuickErrorBound(t *testing.T) {
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, -float64(ebExp%8+5))
+		n := rng.Intn(2000) + 1
+		data := make([]float64, n)
+		for i := range data {
+			switch rng.Intn(3) {
+			case 0:
+				data[i] = 0
+			case 1:
+				data[i] = rng.NormFloat64() * 1e-8
+			default:
+				data[i] = rng.NormFloat64()
+			}
+		}
+		comp, err := Compress(data, eb)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxAbsErr(data, got) <= eb*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := Compress([]float64{1}, 0); err == nil {
+		t.Error("zero error bound accepted")
+	}
+	if _, err := Compress([]float64{1}, math.Inf(1)); err == nil {
+		t.Error("infinite error bound accepted")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Decompress([]byte("XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	comp, err := Compress([]float64{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(comp[:len(comp)-2]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestErrorBoundAccessor(t *testing.T) {
+	comp, err := Compress([]float64{1, 2}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := ErrorBound(comp)
+	if err != nil || eb != 1e-7 {
+		t.Fatalf("ErrorBound = %g, %v", eb, err)
+	}
+	if _, err := ErrorBound([]byte("nope")); err == nil {
+		t.Error("bad stream accepted")
+	}
+}
+
+func TestNaNBecomesOutlier(t *testing.T) {
+	data := []float64{1, math.NaN(), 2}
+	comp, err := Compress(data, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[1]) {
+		t.Fatalf("NaN not preserved: %v", got[1])
+	}
+	if math.Abs(got[0]-1) > 1e-10 || math.Abs(got[2]-2) > 1e-10 {
+		t.Fatal("neighbors of NaN corrupted")
+	}
+}

@@ -1,0 +1,77 @@
+// Package zcheck assesses lossy-compression quality the way the
+// Z-Checker framework (Tao et al., IJHPCA 2017) does for the paper's
+// evaluation: compression ratio, bit rate, maximum absolute error,
+// MSE and PSNR, plus an error-bound verification helper.
+package zcheck
+
+import (
+	"fmt"
+	"math"
+)
+
+// Report summarizes one compression run.
+type Report struct {
+	Elements      int
+	RawBytes      int
+	CompBytes     int
+	Ratio         float64 // RawBytes / CompBytes
+	BitRate       float64 // bits per element = 64 / Ratio
+	MaxAbsErr     float64
+	MSE           float64
+	PSNR          float64 // 20·log10(range / √MSE)
+	ValueRange    float64 // max − min of the original data
+	BoundViolated bool    // set by Assess when a bound is supplied
+}
+
+// Assess compares original and reconstructed data. compBytes is the
+// compressed size; bound, if positive, is the absolute error bound to
+// verify.
+func Assess(original, reconstructed []float64, compBytes int, bound float64) (Report, error) {
+	if len(original) != len(reconstructed) {
+		return Report{}, fmt.Errorf("zcheck: length mismatch %d vs %d", len(original), len(reconstructed))
+	}
+	if len(original) == 0 {
+		return Report{}, fmt.Errorf("zcheck: empty data")
+	}
+	r := Report{
+		Elements:  len(original),
+		RawBytes:  len(original) * 8,
+		CompBytes: compBytes,
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sumSq float64
+	for i, v := range original {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		e := v - reconstructed[i]
+		sumSq += e * e
+		if a := math.Abs(e); a > r.MaxAbsErr {
+			r.MaxAbsErr = a
+		}
+	}
+	r.ValueRange = hi - lo
+	r.MSE = sumSq / float64(len(original))
+	if compBytes > 0 {
+		r.Ratio = float64(r.RawBytes) / float64(compBytes)
+		r.BitRate = 64 / r.Ratio
+	}
+	if r.MSE > 0 && r.ValueRange > 0 {
+		r.PSNR = 20 * math.Log10(r.ValueRange/math.Sqrt(r.MSE))
+	} else {
+		r.PSNR = math.Inf(1) // lossless reconstruction
+	}
+	if bound > 0 && r.MaxAbsErr > bound*(1+1e-9) {
+		r.BoundViolated = true
+	}
+	return r, nil
+}
+
+// String renders the report in Z-Checker's one-line style.
+func (r Report) String() string {
+	return fmt.Sprintf("n=%d ratio=%.2f bitrate=%.3f maxerr=%.3e psnr=%.1f",
+		r.Elements, r.Ratio, r.BitRate, r.MaxAbsErr, r.PSNR)
+}

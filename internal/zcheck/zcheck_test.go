@@ -1,0 +1,81 @@
+package zcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAssessBasics(t *testing.T) {
+	orig := []float64{0, 1, 2, 3}
+	recon := []float64{0, 1.001, 2, 2.999}
+	r, err := Assess(orig, recon, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Elements != 4 || r.RawBytes != 32 || r.CompBytes != 8 {
+		t.Fatalf("sizes: %+v", r)
+	}
+	if r.Ratio != 4 || r.BitRate != 16 {
+		t.Fatalf("ratio %g bitrate %g", r.Ratio, r.BitRate)
+	}
+	if math.Abs(r.MaxAbsErr-0.001) > 1e-12 {
+		t.Fatalf("maxerr %g", r.MaxAbsErr)
+	}
+	if r.ValueRange != 3 {
+		t.Fatalf("range %g", r.ValueRange)
+	}
+	wantMSE := (0.001*0.001 + 0.001*0.001) / 4
+	if math.Abs(r.MSE-wantMSE) > 1e-15 {
+		t.Fatalf("mse %g want %g", r.MSE, wantMSE)
+	}
+	wantPSNR := 20 * math.Log10(3/math.Sqrt(wantMSE))
+	if math.Abs(r.PSNR-wantPSNR) > 1e-9 {
+		t.Fatalf("psnr %g want %g", r.PSNR, wantPSNR)
+	}
+	if !strings.Contains(r.String(), "ratio=4.00") {
+		t.Fatalf("String: %s", r.String())
+	}
+}
+
+func TestAssessBoundCheck(t *testing.T) {
+	orig := []float64{0, 1}
+	recon := []float64{0, 1.1}
+	r, err := Assess(orig, recon, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.BoundViolated {
+		t.Fatal("violation not flagged")
+	}
+	r, err = Assess(orig, recon, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BoundViolated {
+		t.Fatal("false violation")
+	}
+}
+
+func TestAssessLossless(t *testing.T) {
+	orig := []float64{1, 2, 3}
+	r, err := Assess(orig, orig, 4, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.PSNR, 1) {
+		t.Fatalf("lossless PSNR = %g, want +Inf", r.PSNR)
+	}
+	if r.BoundViolated || r.MaxAbsErr != 0 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	if _, err := Assess([]float64{1}, []float64{1, 2}, 1, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Assess(nil, nil, 1, 0); err == nil {
+		t.Error("empty data accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package zfp
+
+import "testing"
+
+// The ZFP decoder must reject arbitrary and mutated streams with
+// errors, never panics.
+func FuzzDecompress(f *testing.F) {
+	comp, err := Compress([]float64{1e-6, 2e-6, -1e-6, 0, 3.5, -2, 0.25, 1e-300}, 1e-9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(comp)
+	f.Add(comp[:len(comp)-2])
+	f.Add([]byte{})
+	f.Add([]byte("ZFP1"))
+	for _, pos := range []int{4, 6, 14, 21, 25} {
+		if pos < len(comp) {
+			m := append([]byte(nil), comp...)
+			m[pos] ^= 0x20
+			f.Add(m)
+		}
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = Decompress(b)
+	})
+}

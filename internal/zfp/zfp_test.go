@@ -1,0 +1,219 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxAbsErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func roundTrip(t *testing.T, data []float64, tol float64) []byte {
+	t.Helper()
+	comp, err := Compress(data, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	if e := maxAbsErr(data, got); e > tol {
+		t.Fatalf("max error %g exceeds tolerance %g", e, tol)
+	}
+	return comp
+}
+
+func TestLiftExactInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10000; trial++ {
+		var p, q [4]int64
+		for i := range p {
+			p[i] = rng.Int63n(1<<62) - rng.Int63n(1<<62)
+		}
+		q = p
+		fwdLift(&q)
+		invLift(&q)
+		if q != p {
+			t.Fatalf("lift not invertible for %v (got %v)", p, q)
+		}
+	}
+}
+
+func TestNegabinaryBijection(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64}
+	for _, v := range cases {
+		if got := fromNegabinary(toNegabinary(v)); got != v {
+			t.Errorf("negabinary(%d) round-trips to %d", v, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10000; trial++ {
+		v := int64(rng.Uint64())
+		if fromNegabinary(toNegabinary(v)) != v {
+			t.Fatalf("negabinary bijection fails at %d", v)
+		}
+	}
+}
+
+// Negabinary's point: truncating low bits must keep values close.
+func TestNegabinaryTruncationError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		v := rng.Int63n(1<<50) - rng.Int63n(1<<50)
+		k := uint(rng.Intn(40))
+		u := toNegabinary(v) &^ ((1 << k) - 1) // zero the low k planes
+		got := fromNegabinary(u)
+		if diff := math.Abs(float64(got - v)); diff > float64(uint64(1)<<(k+1)) {
+			t.Fatalf("truncating %d planes of %d moved it by %g", k, v, diff)
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []float64{}, 1e-10)
+	roundTrip(t, []float64{1.5}, 1e-10)             // partial block
+	roundTrip(t, []float64{1, 2, 3}, 1e-10)         // partial block
+	roundTrip(t, []float64{1, -2, 3, -4, 5}, 1e-10) // block + remainder
+	roundTrip(t, make([]float64, 1000), 1e-10)      // all zero
+	roundTrip(t, []float64{1e-300, 0, -1e-300, 0}, 1e-10)
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = 1e-7 * math.Sin(float64(i)*0.02)
+	}
+	comp := roundTrip(t, data, 1e-10)
+	ratio := float64(len(data)*8) / float64(len(comp))
+	if ratio < 3 {
+		t.Fatalf("smooth data ratio %.2f < 3", ratio)
+	}
+}
+
+func TestMostlyNegligibleDataIsCheap(t *testing.T) {
+	// Blocks entirely below tol/8 must cost ~1 bit per block.
+	data := make([]float64, 4000)
+	for i := range data {
+		data[i] = 1e-13
+	}
+	comp := roundTrip(t, data, 1e-9)
+	if len(comp) > 21+4000/4/8+8 {
+		t.Fatalf("negligible data took %d bytes", len(comp))
+	}
+}
+
+func TestQuickErrorBound(t *testing.T) {
+	f := func(seed int64, tolExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tol := math.Pow(10, -float64(tolExp%9+4))
+		n := rng.Intn(500) + 1
+		data := make([]float64, n)
+		for i := range data {
+			switch rng.Intn(3) {
+			case 0:
+				data[i] = 0
+			case 1:
+				data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(16)-12))
+			default:
+				data[i] = rng.NormFloat64()
+			}
+		}
+		comp, err := Compress(data, tol)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxAbsErr(data, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: opposite-sign values near the block maximum once
+// overflowed the S-transform's first difference (b − a ≈ 2^63 at
+// 62 fraction bits), flipping reconstruction signs.
+func TestOppositeSignOverflow(t *testing.T) {
+	data := []float64{
+		-1.1786110604726281e-07, 1.1736060432263249e-07,
+		-1.6226094591196432e-08, -1.1603664800711715e-09,
+	}
+	roundTrip(t, data, 1e-7)
+	roundTrip(t, []float64{-1, 1, -1, 1}, 1e-3)
+	roundTrip(t, []float64{1e300, -1e300, 1e300, -1e300}, 1e290)
+}
+
+// Property: blocks of ±maxAbs values (worst-case transform growth)
+// honor the bound for any magnitude/tolerance combination.
+func TestQuickOppositeSignBlocks(t *testing.T) {
+	f := func(seed int64, magExp int8, tolOff uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mag := math.Pow(10, float64(magExp%120))
+		tol := mag * math.Pow(10, -float64(tolOff%12))
+		data := make([]float64, 8)
+		for i := range data {
+			data[i] = mag * float64(1-2*rng.Intn(2))
+		}
+		comp, err := Compress(data, tol)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxAbsErr(data, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := Compress([]float64{1}, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := Decompress([]byte{1, 2}); err == nil {
+		t.Error("short stream accepted")
+	}
+	if _, err := Decompress([]byte("XXXXXXXXXXXXXXXXXXXXXXXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	comp, err := Compress([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(comp[:len(comp)-1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestToleranceAccessor(t *testing.T) {
+	comp, err := Compress([]float64{1}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := Tolerance(comp)
+	if err != nil || tol != 1e-8 {
+		t.Fatalf("Tolerance = %g, %v", tol, err)
+	}
+	if _, err := Tolerance([]byte("bad")); err == nil {
+		t.Error("bad stream accepted")
+	}
+}

@@ -1,0 +1,296 @@
+package pastri
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/pattern"
+)
+
+// Metric selects the pattern-scaling method (Sec. IV-A of the paper).
+type Metric int
+
+// The five scaling metrics evaluated in the paper's Fig. 4. ER (ratio
+// of extremums) is the shipped default: best compression ratio, lowest
+// cost.
+const (
+	MetricER  Metric = Metric(pattern.ER)
+	MetricFR  Metric = Metric(pattern.FR)
+	MetricAR  Metric = Metric(pattern.AR)
+	MetricAAR Metric = Metric(pattern.AAR)
+	MetricIS  Metric = Metric(pattern.IS)
+)
+
+// String returns the paper's abbreviation.
+func (m Metric) String() string { return pattern.Metric(m).String() }
+
+// Encoding selects the error-correction code encoder (Sec. IV-C).
+type Encoding int
+
+// The encoders evaluated in the paper's Fig. 7. Tree 5, the adaptive
+// tree, is the shipped default.
+const (
+	EncodingTree5 Encoding = Encoding(encoding.Tree5)
+	EncodingFixed Encoding = Encoding(encoding.Fixed)
+	EncodingTree1 Encoding = Encoding(encoding.Tree1)
+	EncodingTree2 Encoding = Encoding(encoding.Tree2)
+	EncodingTree3 Encoding = Encoding(encoding.Tree3)
+	EncodingTree4 Encoding = Encoding(encoding.Tree4)
+)
+
+// String returns a short name for the encoding.
+func (e Encoding) String() string { return encoding.Method(e).String() }
+
+// Options configures compression. Construct with NewOptions and adjust
+// fields as needed; the zero value is invalid.
+type Options struct {
+	// NumSubBlocks is the number of sub-blocks per block. For an ERI
+	// shell-quartet block of shape Na×Nb×Nc×Nd this is Na·Nb.
+	NumSubBlocks int
+	// SubBlockSize is the number of points per sub-block (Nc·Nd for an
+	// ERI block); it is also the length of the stored pattern.
+	SubBlockSize int
+	// ErrorBound is the absolute error bound every reconstructed value
+	// honors. GAMESS applications typically need 1e-10 (Sec. V-A).
+	ErrorBound float64
+	// Metric is the pattern-scaling method (default MetricER).
+	Metric Metric
+	// Encoding is the error-correction encoder (default EncodingTree5).
+	Encoding Encoding
+	// DisableSparse forces the dense ECQ representation; it exists for
+	// ablation studies and costs compression ratio.
+	DisableSparse bool
+	// Workers bounds (de)compression parallelism; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// NewOptions returns the paper's shipped configuration for the given
+// block geometry and absolute error bound: ER pattern scaling, Tree-5
+// encoding, adaptive sparse ECQ representation.
+func NewOptions(numSubBlocks, subBlockSize int, errorBound float64) Options {
+	return Options{
+		NumSubBlocks: numSubBlocks,
+		SubBlockSize: subBlockSize,
+		ErrorBound:   errorBound,
+		Metric:       MetricER,
+		Encoding:     EncodingTree5,
+	}
+}
+
+// ERIOptions returns Options for a shell-quartet tensor (AB|CD) with
+// the given per-shell basis-function counts, e.g. ERIOptions(6, 6, 6,
+// 6, 1e-10) for a (dd|dd) block stream.
+func ERIOptions(na, nb, nc, nd int, errorBound float64) Options {
+	return NewOptions(na*nb, nc*nd, errorBound)
+}
+
+// BlockSize returns the number of float64 values per block.
+func (o Options) BlockSize() int { return o.NumSubBlocks * o.SubBlockSize }
+
+func (o Options) internal() core.Config {
+	return core.Config{
+		NumSB:         o.NumSubBlocks,
+		SBSize:        o.SubBlockSize,
+		ErrorBound:    o.ErrorBound,
+		Metric:        pattern.Metric(o.Metric),
+		Encoding:      encoding.Method(o.Encoding),
+		DisableSparse: o.DisableSparse,
+		Workers:       o.Workers,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error { return o.internal().Validate() }
+
+// Compress compresses data, which must contain a whole number of blocks
+// of o.BlockSize() values. The result is a self-describing stream:
+// Decompress needs no options.
+func Compress(data []float64, o Options) ([]byte, error) {
+	return core.Compress(data, o.internal(), nil)
+}
+
+// Decompress reconstructs the original values from a compressed stream,
+// exact to within the stream's recorded error bound. It uses all
+// available cores; use DecompressWorkers to bound parallelism.
+func Decompress(comp []byte) ([]float64, error) {
+	return core.Decompress(comp, 0)
+}
+
+// DecompressWorkers is Decompress with an explicit worker count
+// (0 means GOMAXPROCS).
+func DecompressWorkers(comp []byte, workers int) ([]float64, error) {
+	return core.Decompress(comp, workers)
+}
+
+// StreamInfo describes a compressed stream without decompressing it.
+type StreamInfo struct {
+	Options   Options
+	NumBlocks uint64
+	// RawBytes is the size of the decompressed data in bytes.
+	RawBytes uint64
+}
+
+// Inspect parses a compressed stream's header. Streams written
+// incrementally (NewStreamWriter) record no block count, so Inspect
+// scans their block index to recover it.
+func Inspect(comp []byte) (StreamInfo, error) {
+	cfg, nblocks, _, err := core.ParseHeader(comp)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	if nblocks == ^uint64(0) { // streamed file: count the blocks
+		br, err := core.NewBlockReader(comp)
+		if err != nil {
+			return StreamInfo{}, err
+		}
+		nblocks = uint64(br.NumBlocks())
+	}
+	return StreamInfo{
+		Options: Options{
+			NumSubBlocks:  cfg.NumSB,
+			SubBlockSize:  cfg.SBSize,
+			ErrorBound:    cfg.ErrorBound,
+			Metric:        Metric(cfg.Metric),
+			Encoding:      Encoding(cfg.Encoding),
+			DisableSparse: cfg.DisableSparse,
+		},
+		NumBlocks: nblocks,
+		RawBytes:  nblocks * uint64(cfg.NumSB) * uint64(cfg.SBSize) * 8,
+	}, nil
+}
+
+// Stats summarizes how a stream was compressed: the block-type mix of
+// Fig. 6 and the output composition of Sec. V-B.
+type Stats struct {
+	Blocks uint64
+	// TypeCount counts blocks per ECQ-range type: Type 0 (all ECQ zero),
+	// Type 1 ({−1,0,1}), Type 2 (≤ 6 bits), Type 3 (> 6 bits).
+	TypeCount [4]uint64
+	// PatternScaleFraction, ECQFraction and BookkeepingFraction are the
+	// shares of the output spent on PQ+SQ, ECQ, and per-block metadata.
+	PatternScaleFraction float64
+	ECQFraction          float64
+	BookkeepingFraction  float64
+	// SparseBlocks counts blocks that chose the sparse ECQ
+	// representation (Sec. IV-C's adaptive choice).
+	SparseBlocks uint64
+}
+
+// CompressWithStats is Compress, additionally reporting per-block
+// statistics.
+func CompressWithStats(data []float64, o Options) ([]byte, Stats, error) {
+	cs := core.NewStats()
+	comp, err := core.Compress(data, o.internal(), cs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	ps, ecq, book := cs.Fractions()
+	return comp, Stats{
+		Blocks:               cs.Blocks,
+		TypeCount:            cs.TypeCount,
+		PatternScaleFraction: ps,
+		ECQFraction:          ecq,
+		BookkeepingFraction:  book,
+		SparseBlocks:         cs.SparseBlocks,
+	}, nil
+}
+
+// BlockReader decompresses individual blocks of a stream on demand —
+// random access enabled by PaSTRI's per-block independence. A solver
+// can fetch just the shell quartets it needs for one Fock-build tile
+// instead of inflating the whole stream. Not safe for concurrent use;
+// create one reader per goroutine over the same stream bytes.
+type BlockReader struct {
+	r *core.BlockReader
+}
+
+// NewBlockReader indexes a compressed stream for random access without
+// decompressing anything. The stream bytes are retained, not copied.
+func NewBlockReader(comp []byte) (*BlockReader, error) {
+	r, err := core.NewBlockReader(comp)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockReader{r: r}, nil
+}
+
+// NumBlocks returns the number of blocks in the stream.
+func (br *BlockReader) NumBlocks() int { return br.r.NumBlocks() }
+
+// BlockSize returns the number of float64 values per block.
+func (br *BlockReader) BlockSize() int { return br.r.Config().BlockSize() }
+
+// ReadBlock decompresses block b into dst, which must have BlockSize()
+// elements.
+func (br *BlockReader) ReadBlock(b int, dst []float64) error {
+	return br.r.ReadBlock(b, dst)
+}
+
+// CompressedBlockBytes returns the compressed size of block b.
+func (br *BlockReader) CompressedBlockBytes(b int) int {
+	return br.r.CompressedBlockBytes(b)
+}
+
+// StreamWriter compresses blocks incrementally to an io.Writer —
+// suitable for datasets too large to hold raw in memory (the regime the
+// paper targets). Streams it produces are readable by Decompress,
+// NewBlockReader and NewStreamReader alike.
+type StreamWriter struct {
+	w *core.StreamWriter
+}
+
+// NewStreamWriter writes a stream header to w and returns a writer that
+// appends one compressed block per WriteBlock call. Close flushes it.
+func NewStreamWriter(w io.Writer, o Options) (*StreamWriter, error) {
+	sw, err := core.NewStreamWriter(w, o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &StreamWriter{w: sw}, nil
+}
+
+// WriteBlock compresses and appends one block of o.BlockSize() values.
+func (s *StreamWriter) WriteBlock(block []float64) error { return s.w.WriteBlock(block) }
+
+// Blocks returns the number of blocks written so far.
+func (s *StreamWriter) Blocks() uint64 { return s.w.Blocks() }
+
+// Close flushes buffered output; the underlying writer stays open.
+func (s *StreamWriter) Close() error { return s.w.Close() }
+
+// StreamReader decompresses blocks incrementally from an io.Reader.
+type StreamReader struct {
+	r *core.StreamReader
+}
+
+// NewStreamReader parses the stream header and prepares sequential
+// block reads.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	sr, err := core.NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{r: sr}, nil
+}
+
+// BlockSize returns the number of float64 values per block.
+func (s *StreamReader) BlockSize() int { return s.r.Config().BlockSize() }
+
+// ErrorBound returns the stream's absolute error bound.
+func (s *StreamReader) ErrorBound() float64 { return s.r.Config().ErrorBound }
+
+// ReadBlock decompresses the next block into dst (BlockSize() values);
+// io.EOF signals the end of the stream.
+func (s *StreamReader) ReadBlock(dst []float64) error { return s.r.ReadBlock(dst) }
+
+// MaxError returns the worst-case absolute reconstruction error of a
+// stream: its recorded error bound.
+func MaxError(comp []byte) (float64, error) {
+	info, err := Inspect(comp)
+	if err != nil {
+		return 0, fmt.Errorf("pastri: %w", err)
+	}
+	return info.Options.ErrorBound, nil
+}

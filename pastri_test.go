@@ -1,0 +1,211 @@
+package pastri
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// patterned builds ERI-like block data: sub-blocks sharing one shape up
+// to a scalar, plus small deviations.
+func patterned(rng *rand.Rand, blocks, numSB, sbSize int, amp, noise float64) []float64 {
+	out := make([]float64, 0, blocks*numSB*sbSize)
+	for b := 0; b < blocks; b++ {
+		shape := make([]float64, sbSize)
+		for i := range shape {
+			shape[i] = rng.NormFloat64() * amp
+		}
+		for s := 0; s < numSB; s++ {
+			scale := rng.Float64()*2 - 1
+			for i := 0; i < sbSize; i++ {
+				out = append(out, scale*shape[i]+noise*rng.NormFloat64())
+			}
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	opts := NewOptions(36, 36, 1e-10)
+	data := patterned(rng, 10, 36, 36, 1e-6, 1e-11)
+	comp, err := Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(got[i]-data[i]) > 1e-10*(1+1e-9) {
+			t.Fatalf("error bound violated at %d", i)
+		}
+	}
+	if len(comp) >= len(data)*8/5 {
+		t.Fatalf("patterned data only compressed to %d bytes from %d", len(comp), len(data)*8)
+	}
+}
+
+func TestERIOptions(t *testing.T) {
+	o := ERIOptions(10, 6, 10, 10, 1e-10)
+	if o.NumSubBlocks != 60 || o.SubBlockSize != 100 {
+		t.Fatalf("ERIOptions geometry: %d×%d", o.NumSubBlocks, o.SubBlockSize)
+	}
+	if o.BlockSize() != 6000 {
+		t.Fatalf("BlockSize = %d", o.BlockSize())
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	opts := NewOptions(6, 6, 1e-9)
+	opts.Metric = MetricAAR
+	opts.Encoding = EncodingTree3
+	data := make([]float64, 36*3)
+	comp, err := Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumBlocks != 3 || info.RawBytes != 36*3*8 {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.Options.Metric != MetricAAR || info.Options.Encoding != EncodingTree3 ||
+		info.Options.ErrorBound != 1e-9 {
+		t.Fatalf("options not preserved: %+v", info.Options)
+	}
+	if eb, err := MaxError(comp); err != nil || eb != 1e-9 {
+		t.Fatalf("MaxError = %g, %v", eb, err)
+	}
+	if _, err := Inspect([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := MaxError(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestCompressWithStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	opts := NewOptions(36, 36, 1e-10)
+	data := patterned(rng, 20, 36, 36, 1e-7, 3e-10)
+	comp, stats, err := CompressWithStats(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != 20 {
+		t.Fatalf("stats.Blocks = %d", stats.Blocks)
+	}
+	sum := stats.PatternScaleFraction + stats.ECQFraction + stats.BookkeepingFraction
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+	var total uint64
+	for _, c := range stats.TypeCount {
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("type counts sum to %d", total)
+	}
+	if _, err := Decompress(comp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricEncodingStrings(t *testing.T) {
+	if MetricER.String() != "ER" || MetricAAR.String() != "AAR" {
+		t.Fatal("metric strings wrong")
+	}
+	if EncodingTree5.String() != "Tree5" || EncodingFixed.String() != "Fixed" {
+		t.Fatal("encoding strings wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Options{}).Validate(); err == nil {
+		t.Fatal("zero options accepted")
+	}
+	if _, err := Compress([]float64{1, 2}, NewOptions(2, 2, 1e-10)); err == nil {
+		t.Fatal("partial block accepted")
+	}
+	if _, _, err := CompressWithStats([]float64{1}, Options{}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestBlockReaderPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	opts := NewOptions(6, 36, 1e-10)
+	data := patterned(rng, 9, 6, 36, 1e-7, 1e-12)
+	comp, err := Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.NumBlocks() != 9 || br.BlockSize() != 216 {
+		t.Fatalf("NumBlocks=%d BlockSize=%d", br.NumBlocks(), br.BlockSize())
+	}
+	dst := make([]float64, br.BlockSize())
+	if err := br.ReadBlock(4, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if math.Abs(v-data[4*216+i]) > 1e-10*(1+1e-9) {
+			t.Fatalf("block 4 point %d out of bound", i)
+		}
+	}
+	if br.CompressedBlockBytes(4) <= 0 {
+		t.Fatal("block size accounting broken")
+	}
+	if _, err := NewBlockReader([]byte("x")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+// Property: the public API honors the error bound on arbitrary data for
+// every metric × encoding combination.
+func TestQuickPublicErrorBound(t *testing.T) {
+	metrics := []Metric{MetricER, MetricFR, MetricAR, MetricAAR, MetricIS}
+	encodings := []Encoding{EncodingTree5, EncodingFixed, EncodingTree1,
+		EncodingTree2, EncodingTree3, EncodingTree4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOptions(rng.Intn(6)+2, rng.Intn(20)+2, math.Pow(10, -float64(rng.Intn(6)+6)))
+		o.Metric = metrics[rng.Intn(len(metrics))]
+		o.Encoding = encodings[rng.Intn(len(encodings))]
+		o.DisableSparse = rng.Intn(2) == 0
+		o.Workers = rng.Intn(4)
+		blocks := rng.Intn(4) + 1
+		data := make([]float64, blocks*o.BlockSize())
+		for i := range data {
+			data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-9))
+		}
+		comp, err := Compress(data, o)
+		if err != nil {
+			return false
+		}
+		got, err := DecompressWorkers(comp, rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(got[i]-data[i]) > o.ErrorBound*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
