@@ -1,0 +1,43 @@
+# Build, test and verification entry points. `make verify` is the gate
+# CI runs (see .github/workflows/ci.yml): build + tests + go vet +
+# pastrilint + race detector + a short fuzz smoke pass.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: build test vet lint race fuzz-smoke verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# pastrilint: the PaSTRI-specific analyzer suite (internal/analysis).
+# Findings are fixed or annotated with //lint:<analyzer>-ok; the target
+# fails on any unannotated finding.
+lint:
+	$(GO) run ./cmd/pastrilint ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke: run each fuzz target for a few seconds. Go permits one
+# -fuzz target per invocation, so the targets are enumerated explicitly.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzBitio$$ -fuzztime=$(FUZZTIME) ./internal/bitio
+	$(GO) test -run='^$$' -fuzz=FuzzBitioReader$$ -fuzztime=$(FUZZTIME) ./internal/bitio
+	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzBlockReader$$ -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/sz
+	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/zfp
+
+verify: build test vet lint race fuzz-smoke
+	@echo "verify: OK"
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,98 @@
+// Command pastrilint runs the PaSTRI-specific static-analysis suite
+// (internal/analysis) over module packages and exits non-zero on
+// findings, so it can gate the verify chain next to go vet.
+//
+// Usage:
+//
+//	pastrilint ./...                  # whole module
+//	pastrilint ./internal/bitio       # one package
+//	pastrilint -only floatcmp,errdrop ./...
+//	pastrilint -list                  # describe the suite
+//
+// Findings print as file:line:col: [analyzer] message. A finding is
+// silenced by fixing it or by annotating the line (or the line above)
+// with //lint:<analyzer>-ok plus the reason the invariant holds; see
+// the "Static analysis & invariants" section of README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pastrilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only = fs.String("only", "", "comma-separated subset of analyzers to run")
+		list = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "pastrilint:", err)
+		return 2
+	}
+	n, err := Lint(cwd, patterns, analyzers, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "pastrilint:", err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(stdout, "pastrilint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// Lint loads the patterns relative to dir's module and streams findings
+// to out, returning the finding count.
+func Lint(dir string, patterns []string, analyzers []*analysis.Analyzer, out *os.File) (int, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			fmt.Fprintln(out, d)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean runs the full analyzer suite over the whole
+// module and fails on any finding, making `go test ./...` enforce the
+// same gate as `make lint`. New findings are fixed or annotated with
+// //lint:<analyzer>-ok — see README.md "Static analysis & invariants".
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is slow")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	root := repoRoot(t)
+	n, err := Lint(root, []string{"./..."}, analysis.All(), devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		// Re-run against stderr so the findings are visible in the log.
+		if _, err := Lint(root, []string{"./..."}, analysis.All(), os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("pastrilint reported %d finding(s); fix or annotate them", n)
+	}
+}
+
+func TestRunListsAnalyzers(t *testing.T) {
+	if code := run([]string{"-list"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("pastrilint -list exited %d", code)
+	}
+}
+
+func TestRunRejectsUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-only", "nosuch"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("pastrilint -only nosuch exited %d, want 2", code)
+	}
+}

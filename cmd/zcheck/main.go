@@ -57,7 +57,7 @@ func run(origPath, reconPath, pstrPath string, compSize int, bound float64) erro
 			return err
 		}
 		compSize = len(comp)
-		if bound == 0 {
+		if bound == 0 { //lint:floatcmp-ok unset-flag sentinel: 0 means "read the bound from the stream"
 			if eb, err := pastri.MaxError(comp); err == nil {
 				bound = eb
 			}

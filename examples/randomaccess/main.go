@@ -30,7 +30,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.Remove(path)
+	defer func() {
+		if err := os.Remove(path); err != nil {
+			log.Printf("cleanup: %v", err)
+		}
+	}()
 
 	opts := pastri.NewOptions(ds.NumSB, ds.SBSize, 1e-10)
 	sw, err := pastri.NewStreamWriter(f, opts)
@@ -48,7 +52,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fi, _ := os.Stat(path)
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("streamed %d blocks to %s: %.1f MB raw -> %.2f MB (ratio %.2f)\n",
 		ds.Blocks, path, float64(ds.SizeBytes())/1e6, float64(fi.Size())/1e6,
 		float64(ds.SizeBytes())/float64(fi.Size()))

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmp(t *testing.T) {
+	runFixture(t, FloatCmp, "floatcmp", fixtureModPath+"/internal/fixtures")
+}
+
+func TestShiftWidth(t *testing.T) {
+	runFixture(t, ShiftWidth, "shiftwidth", fixtureModPath+"/internal/fixtures")
+}
+
+func TestErrDrop(t *testing.T) {
+	runFixture(t, ErrDrop, "errdrop", fixtureModPath+"/internal/fixtures")
+}
+
+func TestNoPanicLibrary(t *testing.T) {
+	runFixture(t, NoPanic, "nopanic/lib", fixtureModPath+"/internal/fixtures")
+}
+
+func TestNoPanicCmdExempt(t *testing.T) {
+	// Same calls, cmd/ package path: zero findings expected, which the
+	// harness enforces because the fixture has no want comments.
+	runFixture(t, NoPanic, "nopanic/cmdpkg", fixtureModPath+"/cmd/tool")
+}
+
+func TestGoroutineCapture(t *testing.T) {
+	runFixture(t, GoroutineCapture, "goroutinecapture", fixtureModPath+"/internal/fixtures")
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"floatcmp", "nopanic"})
+	if err != nil || len(as) != 2 || as[0] != FloatCmp || as[1] != NoPanic {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName accepted unknown analyzer")
+	}
+}

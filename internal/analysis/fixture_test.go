@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture tests: each analyzer runs over a small testdata package and
+// its diagnostics are compared against `// want "regexp"` comments on
+// the expected lines — the same convention as x/tools analysistest,
+// reimplemented on the stdlib. Fixtures import only the standard
+// library so the shared source-mode importer can resolve everything.
+
+var fixtureFset = token.NewFileSet()
+
+var fixtureImporter = sync.OnceValue(func() types.Importer {
+	return StdImporter(fixtureFset)
+})
+
+const fixtureModPath = "fixture.example/mod"
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture type-checks the package at testdata/<dir>, runs a over it
+// under import path pkgPath, and diffs findings against want comments.
+func runFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	full := filepath.Join("testdata", dir)
+	ents, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fixtureFset, filepath.Join(full, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", full)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{Importer: fixtureImporter()}
+	tpkg, err := conf.Check(pkgPath, fixtureFset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", full, err)
+	}
+	pkg := &Package{
+		Path:    pkgPath,
+		ModPath: fixtureModPath,
+		Dir:     full,
+		Fset:    fixtureFset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+
+	wants := collectWants(t, files)
+	matched := make(map[*wantExpectation]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				matched[w] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+type wantExpectation struct{ re *regexp.Regexp }
+
+func collectWants(t *testing.T, files []*ast.File) map[string][]*wantExpectation {
+	t.Helper()
+	out := make(map[string][]*wantExpectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", pat, err)
+					}
+					pos := fixtureFset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], &wantExpectation{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point (or complex)
+// operands. PaSTRI's error-bound logic must compare against tolerances
+// (|a-b| <= eb), never exactly: an exact comparison that "works" on one
+// code path silently breaks once a refactor reorders the arithmetic.
+// The only legitimate exact comparisons are sentinel checks against
+// values that are exact by construction (un-touched zeros from sparse
+// screening, IEEE values produced by Ldexp) — those sites carry a
+// //lint:floatcmp-ok marker stating why exactness holds.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == / != on floating-point operands (use a tolerance or annotate the sentinel)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt := p.TypesInfo.Types[be.X]
+			yt := p.TypesInfo.Types[be.Y]
+			if !isFloatish(xt.Type) && !isFloatish(yt.Type) {
+				return true
+			}
+			// Both sides compile-time constants: the comparison is
+			// resolved by the compiler, not at run time.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			p.Reportf(be.OpPos,
+				"floating-point %s comparison; compare against a tolerance or annotate //lint:floatcmp-ok with the exactness argument",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture flags `go func() { ... }` literals in loop bodies
+// that capture per-iteration or loop-mutated state by reference instead
+// of receiving it as an argument. The block codec's order-preserving
+// fan-out (internal/core, internal/eri, internal/dataset) depends on
+// every worker seeing a stable view of its inputs; a captured variable
+// that the loop keeps writing is a data race the compiler accepts
+// silently and the race detector only catches when the schedule
+// cooperates.
+//
+// Two shapes are reported:
+//
+//   - capture of an enclosing for/range iteration variable — even with
+//     per-iteration loop variables (Go >= 1.22) worker-pool code passes
+//     iteration state explicitly, so intent survives refactors into
+//     helpers with older semantics;
+//   - capture of a variable declared outside an enclosing loop that the
+//     loop body also writes outside the literal (a shared accumulator
+//     being raced against the goroutine).
+//
+// Synchronized sites (mutex-guarded accumulators written only inside
+// the literal, channels, sync primitives) are not flagged.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flag loop-variable and loop-mutated captures in go func literals",
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(p *Pass) {
+	for _, f := range p.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			loops := enclosingLoops(stack)
+			if len(loops) == 0 {
+				return true
+			}
+			iterVars := make(map[*types.Var]bool)
+			for _, loop := range loops {
+				for _, v := range p.loopIterVars(loop) {
+					iterVars[v] = true
+				}
+			}
+			reported := make(map[*types.Var]bool)
+			for _, use := range p.freeVars(lit) {
+				obj := use.obj
+				if reported[obj] {
+					continue
+				}
+				if iterVars[obj] {
+					reported[obj] = true
+					p.Reportf(use.pos,
+						"go literal captures iteration variable %q of an enclosing loop; pass it as an argument",
+						obj.Name())
+					continue
+				}
+				for _, loop := range loops {
+					if nodeWithin(loop, obj.Pos()) {
+						continue // declared inside this loop: fresh per iteration
+					}
+					if p.writesTo(loop, lit, obj) {
+						reported[obj] = true
+						p.Reportf(use.pos,
+							"go literal captures %q, which the enclosing loop writes outside the literal (data race); pass a copy as an argument",
+							obj.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+type freeUse struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// freeVars lists variables referenced inside lit but declared outside
+// it (first use position wins). Struct fields and package-level
+// declarations from other files still qualify when loop-written.
+func (p *Pass) freeVars(lit *ast.FuncLit) []freeUse {
+	var out []freeUse
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if nodeWithin(lit, obj.Pos()) {
+			return true // declared inside the literal (incl. its params)
+		}
+		seen[obj] = true
+		out = append(out, freeUse{obj: obj, pos: id.Pos()})
+		return true
+	})
+	return out
+}
+
+// enclosingLoops returns the for/range statements on the ancestor
+// stack, stopping at the nearest enclosing function boundary.
+func enclosingLoops(stack []ast.Node) []ast.Node {
+	var loops []ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, stack[i])
+		case *ast.FuncLit, *ast.FuncDecl:
+			return loops
+		}
+	}
+	return loops
+}
+
+// loopIterVars returns the variables bound per-iteration by loop.
+func (p *Pass) loopIterVars(loop ast.Node) []*types.Var {
+	var idents []ast.Expr
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		idents = append(idents, l.Key, l.Value)
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok {
+			idents = append(idents, init.Lhs...)
+		}
+	}
+	var out []*types.Var
+	for _, e := range idents {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := p.TypesInfo.Defs[id].(*types.Var); ok {
+			out = append(out, v)
+		} else if v, ok := p.TypesInfo.Uses[id].(*types.Var); ok {
+			// `for i = range xs` rebinding an outer variable.
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// writesTo reports whether loop assigns to obj anywhere outside lit.
+func (p *Pass) writesTo(loop ast.Node, lit *ast.FuncLit, obj *types.Var) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found || n == ast.Node(lit) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := introduces new objects, not writes to obj
+			}
+			for _, lhs := range n.Lhs {
+				if p.isUseOfExpr(lhs, obj) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.isUseOfExpr(n.X, obj) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if p.isUseOfExpr(n.Key, obj) || p.isUseOfExpr(n.Value, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (p *Pass) isUseOfExpr(e ast.Expr, obj *types.Var) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.TypesInfo.Uses[id] == types.Object(obj)
+}
+
+func nodeWithin(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

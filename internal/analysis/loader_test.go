@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestLoaderSinglePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModPath() != "repro" {
+		t.Fatalf("module path = %q, want repro", l.ModPath())
+	}
+	pkgs, err := l.Load("./internal/quant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/quant" {
+		t.Fatalf("Load(./internal/quant) = %v", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Scope().Lookup("Quantize") == nil {
+		t.Fatal("package not type-checked: Quantize not found")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Fatal("type info not populated")
+	}
+}
+
+func TestLoaderRecursiveSkipsTestdata(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading this package recursively must not descend into testdata
+	// (the fixture packages would not resolve outside the harness).
+	pkgs, err := l.Load("./internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/analysis" {
+		t.Fatalf("Load(./internal/analysis/...) = %d packages", len(pkgs))
+	}
+}
+
+func TestLoaderBadPattern(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("./no/such/dir"); err == nil {
+		t.Fatal("Load accepted a nonexistent directory")
+	}
+}

@@ -1,0 +1,51 @@
+package fixtures
+
+import (
+	"io"
+	"os"
+)
+
+// True positives: watched errors silently dropped.
+
+func drop(f *os.File) {
+	f.Close() // want "error result of os.Close is dropped"
+}
+
+func deferDrop(f *os.File) {
+	defer f.Close() // want "error result of os.Close is dropped by defer"
+}
+
+func copyDrop(w io.Writer, r io.Reader) {
+	io.Copy(w, r) // want "error result of io.Copy is dropped"
+}
+
+func blankDiscard(f *os.File, p []byte) {
+	_, _ = f.Write(p) // want "error result of os.Write is discarded with _"
+}
+
+// Clean: error handled or returned.
+
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func returned(w io.Writer, p []byte) (int, error) {
+	return w.Write(p)
+}
+
+// Clean: unwatched callee (local function returning error).
+
+func local() error { return nil }
+
+func unwatched() {
+	local()
+}
+
+// Clean: suppressed best-effort cleanup.
+
+func annotated(f *os.File) {
+	defer f.Close() //lint:errdrop-ok read-only file, close error carries no data loss
+}

@@ -1,0 +1,40 @@
+package fixtures
+
+// True positives: exact equality on floating-point operands.
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func mixedConst(x float64) bool {
+	return x == 1.5 // want "floating-point == comparison"
+}
+
+// Clean: tolerance-based comparison and integer equality.
+
+func clean(a, b float64, i, j int) bool {
+	const tol = 1e-12
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol && i == j
+}
+
+// Clean: both operands are compile-time constants.
+
+const cA = 1.5
+
+func constFold() bool {
+	return cA == 1.5
+}
+
+// Clean: suppressed exact-zero sentinel.
+
+func sentinel(x float64) bool {
+	return x == 0 //lint:floatcmp-ok untouched screening zeros are exact by construction
+}

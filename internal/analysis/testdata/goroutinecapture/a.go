@@ -1,0 +1,84 @@
+package fixtures
+
+import "sync"
+
+func use(int) {}
+
+// True positive: literal reads the iteration variable by reference.
+
+func iterCapture(xs []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = xs[i] // want "captures iteration variable \"i\""
+		}()
+	}
+	wg.Wait()
+}
+
+// True positive: shared accumulator written by the loop while the
+// goroutines read it.
+
+func mutatedCapture(xs []int) {
+	var cur int
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		cur = x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(cur) // want "captures \"cur\", which the enclosing loop writes"
+		}()
+	}
+	wg.Wait()
+}
+
+// Clean: iteration state passed as an argument.
+
+func passedAsArg(xs []int) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = xs[i]
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Clean: the worker-pool shape used by the block codec — workers pull
+// indices from a closed channel; captured state is never written by
+// the spawning loop.
+
+func channelFanOut(xs, out []int) {
+	next := make(chan int, len(xs))
+	for i := range xs {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = xs[i]
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Clean: goroutine outside any loop.
+
+func noLoop(x int) {
+	done := make(chan struct{})
+	go func() {
+		use(x)
+		close(done)
+	}()
+	<-done
+}

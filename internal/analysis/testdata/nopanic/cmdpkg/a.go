@@ -1,0 +1,18 @@
+// Clean case: under cmd/ (and examples/) process-terminating calls are
+// the correct idiom, so nothing here is flagged.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("usage: tool <arg>")
+	}
+	if os.Args[1] == "boom" {
+		panic("boom")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,44 @@
+package fixtures
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// True positives: process-terminating calls in a library package.
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want "panic in library package"
+	}
+}
+
+func badLog(err error) {
+	log.Fatal(err) // want "log.Fatal in library package"
+}
+
+func badLogf(err error) {
+	log.Panicf("boom: %v", err) // want "log.Panicf in library package"
+}
+
+func badExit() {
+	os.Exit(1) // want "os.Exit in library package"
+}
+
+// Clean: errors returned instead.
+
+func clean(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative %d", x)
+	}
+	return nil
+}
+
+// Clean: suppressed API-contract guard.
+
+func contract(width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("width %d > 64", width)) //lint:nopanic-ok unreachable unless the caller breaks the documented contract
+	}
+}

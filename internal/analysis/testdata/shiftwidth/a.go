@@ -1,0 +1,172 @@
+package fixtures
+
+// True positives: distances that can reach the operand width.
+
+func unbounded(b uint) uint64 {
+	return 1 << b // want "not provably < 64"
+}
+
+func unboundedOffset(width uint) uint64 {
+	return ^uint64(0) << (width - 1) // want "not provably < 64"
+}
+
+func constTooBig(x uint64) uint64 {
+	return x >> 70 // want "not provably < 64"
+}
+
+func assignOp(x uint64, n uint) uint64 {
+	x >>= n // want "not provably < 64"
+	return x
+}
+
+func guardTooWeak(width uint) uint64 {
+	if width <= 64 { // admits width == 64
+		return 1 << width // want "not provably < 64"
+	}
+	return 0
+}
+
+func wrongBranch(b uint) uint64 {
+	if b < 64 {
+		return 0
+	}
+	return 1 << b // want "not provably < 64"
+}
+
+// Clean: dominating bound checks in all supported shapes.
+
+func guardedThen(b uint) uint64 {
+	if b < 64 {
+		return 1 << b
+	}
+	return 0
+}
+
+func guardedElse(b uint) uint64 {
+	if b >= 64 {
+		return 0
+	} else {
+		return 1 << b
+	}
+}
+
+func guardedTerminator(b uint) uint64 {
+	if b > 63 {
+		panic("shift distance out of range")
+	}
+	return 1 << b
+}
+
+func guardedDisjunction(width uint) uint64 {
+	if width == 0 || width > 64 {
+		return 0
+	}
+	return ^uint64(0) << (width - 1)
+}
+
+func guardedConjunction(x uint64, a uint) uint64 {
+	if a < 32 && x > 0 {
+		return x << (a + 31)
+	}
+	return 0
+}
+
+func guardedAssignOp(x uint64, n uint) uint64 {
+	if n < 8 {
+		x <<= n
+	}
+	return x
+}
+
+// Clean: distance reduced on the spot.
+
+func masked(x uint64, n uint) uint64 {
+	return x << (n & 63)
+}
+
+func modded(x uint64, n uint) uint64 {
+	return x >> (n % 64)
+}
+
+func constOK(x uint64) uint64 {
+	return x << 63
+}
+
+func narrowOperand(x uint16, n uint) uint16 {
+	if n < 16 {
+		return x << n
+	}
+	return 0
+}
+
+// Clean: tagless-switch ordering — reaching a later clause negates the
+// earlier guards, and a clause's own expression bounds it positively.
+
+func guardedSwitchOrder(x uint64, bin uint) (uint64, bool) {
+	switch {
+	case bin == 0:
+		return 0, false
+	case bin > 64:
+		return 0, false
+	default:
+		return x << (bin - 1), true
+	}
+}
+
+func guardedSwitchCase(x uint64, n uint) uint64 {
+	switch {
+	case n < 16:
+		return x << n
+	default:
+		return 0
+	}
+}
+
+// Positive: fallthrough invalidates the ordering argument.
+
+func switchFallthrough(x uint64, n uint) uint64 {
+	switch {
+	case n > 64:
+		fallthrough
+	default:
+		return x << n // want "not provably < 64"
+	}
+	return 0
+}
+
+// Clean: loop variables bounded by their condition (upward) or their
+// constant start (downward), as in the ZFP bit-plane coder.
+
+func guardedUpLoop(u []uint64) uint64 {
+	var nibble uint64
+	for i := 0; i < len(u) && i < 16; i++ {
+		nibble = nibble<<1 | (u[0]>>uint(63-i))&1
+	}
+	return nibble
+}
+
+func guardedDownLoop(u []uint64, planes int) uint64 {
+	var acc uint64
+	for p := 63; p > 63-planes; p-- {
+		acc |= (u[0] >> uint(p)) & 1
+	}
+	return acc
+}
+
+// Positive: the body writes the loop variable, so the loop bounds are
+// off the table.
+
+func loopVarRewritten(x uint64) uint64 {
+	var acc uint64
+	for i := 0; i < 16; i++ {
+		acc |= x << i // want "not provably < 64"
+		i += int(x)
+	}
+	return acc
+}
+
+// Clean: suppressed with the invariant stated.
+
+func annotated(x uint64, rem uint) uint64 {
+	return x << rem //lint:shiftwidth-ok rem = width-free < 64 because free >= 1
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import "go/ast"
+
+// walkStack traverses the AST below root in source order, calling fn
+// with the chain of ancestors (outermost first, not including n) for
+// every node. fn returns false to prune the subtree below n.
+func walkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(stack, n)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

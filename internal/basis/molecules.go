@@ -103,7 +103,7 @@ func ZToCartesian(name string, entries []ZEntry) (Molecule, error) {
 func mustZ(name string, entries []ZEntry) Molecule {
 	m, err := ZToCartesian(name, entries)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:nopanic-ok unreachable: all Z-matrix inputs are compile-time constants checked by tests
 	}
 	return m
 }
@@ -186,7 +186,7 @@ func Glutamine() Molecule {
 // paper's third benchmark molecule (Fig. 8c).
 func PolyAlanine(n int) Molecule {
 	if n < 1 {
-		panic("basis: PolyAlanine needs n >= 1")
+		panic("basis: PolyAlanine needs n >= 1") //lint:nopanic-ok programmer error: n is a compile-time benchmark parameter
 	}
 	var z []ZEntry
 	// Seed residue: N, CA, C.

@@ -53,7 +53,7 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 		return
 	}
 	if width > 64 {
-		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", width))
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", width)) //lint:nopanic-ok programmer error: widths come from BitsFor* which cap at 64
 	}
 	if width < 64 {
 		v &= (1 << width) - 1
@@ -61,17 +61,20 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 	w.bits += uint64(width)
 	free := 64 - w.n
 	if width < free {
-		w.cur = w.cur<<width | v
+		w.cur = w.cur<<width | v //lint:shiftwidth-ok width < free <= 64 by the branch condition
 		w.n += width
 		return
 	}
 	// Fill cur completely, flush, keep remainder.
 	rem := width - free
-	w.cur = w.cur<<free | v>>rem
+	// free = 64 only when n = 0, and then cur = 0 so cur<<64 = 0 is the
+	// correct "nothing buffered" value; rem <= 63 since width <= 64 and
+	// free >= 1 whenever cur is nonempty.
+	w.cur = w.cur<<free | v>>rem //lint:shiftwidth-ok see invariant above
 	w.n = 64
 	w.flushWord()
 	if rem > 0 {
-		w.cur = v & ((1 << rem) - 1)
+		w.cur = v & ((1 << rem) - 1) //lint:shiftwidth-ok rem = width-free <= 63 (width <= 64, free >= 1 here)
 		w.n = rem
 	}
 }
@@ -115,10 +118,10 @@ func (w *Writer) Bytes() []byte {
 	cur := w.cur
 	for n >= 8 {
 		n -= 8
-		out = append(out, byte(cur>>n))
+		out = append(out, byte(cur>>n)) //lint:shiftwidth-ok n <= 63: n == 64 triggers flushWord in every write path
 	}
 	if n > 0 {
-		out = append(out, byte(cur<<(8-n)))
+		out = append(out, byte(cur<<(8-n))) //lint:shiftwidth-ok 8-n in [1,7]: the loop above left n < 8
 	}
 	// The append above may have grown a new array; only the flushed prefix
 	// lives in w.buf, so re-slicing is safe for subsequent writes.
@@ -166,7 +169,7 @@ func (r *Reader) ReadBit() (uint, error) {
 	}
 	r.n--
 	r.read++
-	return uint(r.cur>>r.n) & 1, nil
+	return uint(r.cur>>r.n) & 1, nil //lint:shiftwidth-ok r.n <= 63 after the decrement (fill caps it at 64)
 }
 
 // ReadBits reads `width` bits (MSB-first) into the low bits of the result.
@@ -176,7 +179,7 @@ func (r *Reader) ReadBits(width uint) (uint64, error) {
 		return 0, nil
 	}
 	if width > 64 {
-		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width))
+		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width)) //lint:nopanic-ok programmer error: decoders validate header widths before reading
 	}
 	var v uint64
 	remaining := width
@@ -192,7 +195,11 @@ func (r *Reader) ReadBits(width uint) (uint64, error) {
 			take = r.n
 		}
 		r.n -= take
-		v = v<<take | (r.cur>>r.n)&((1<<take)-1)
+		// take can be 64 only when the reservoir was full and all 64 bits
+		// are requested at once; the wrapped-to-zero mask from 1<<64-1 is
+		// repaired by the take == 64 patch below, and v<<64 on the first
+		// iteration shifts the still-zero accumulator.
+		v = v<<take | (r.cur>>r.n)&((1<<take)-1) //lint:shiftwidth-ok see invariant above
 		if take == 64 {
 			v = r.cur // take==64 implies r.n was 64 and remaining 64
 		}
@@ -208,7 +215,10 @@ func (r *Reader) ReadSigned(width uint) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if width == 64 {
+	if width >= 64 {
+		// width > 64 is unreachable (ReadBits panicked); folding it into
+		// the 64-bit case makes the sign-extension shifts below provably
+		// in range for the shiftwidth analyzer.
 		return int64(u), nil
 	}
 	// Sign-extend.

@@ -115,14 +115,14 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 				case -1:
 					w.WriteBits(0b11, 2)
 				default:
-					panic(fmt.Sprintf("encoding: value %d exceeds ECb_max=2", v))
+					panic(fmt.Sprintf("encoding: value %d exceeds ECb_max=2", v)) //lint:nopanic-ok unreachable: quantizer clamps error-correction values to ECb_max
 				}
 			}
 		} else {
 			encodeTree3(w, vals, ecbMax)
 		}
 	default:
-		panic(fmt.Sprintf("encoding: unknown method %v", m))
+		panic(fmt.Sprintf("encoding: unknown method %v", m)) //lint:nopanic-ok unreachable: the Method switch above is exhaustive
 	}
 }
 
@@ -164,7 +164,7 @@ func encodeTree4Value(w *bitio.Writer, v int64) {
 			abs = -v
 			sign = 1
 		}
-		lo := int64(1) << (bin - 2)
+		lo := int64(1) << (bin - 2) //lint:shiftwidth-ok bin = BitsForValue(v) <= 65 by construction, so bin-2 <= 63
 		payload := uint64(abs-lo)<<1 | sign
 		w.WriteBits(payload, bin-1)
 	}
@@ -401,7 +401,7 @@ func CostBits(vals []int64, ecbMax uint, m Method) uint64 {
 			return CostBits(vals, ecbMax, Tree3)
 		}
 	default:
-		panic(fmt.Sprintf("encoding: unknown method %v", m))
+		panic(fmt.Sprintf("encoding: unknown method %v", m)) //lint:nopanic-ok unreachable: the Method switch above is exhaustive
 	}
 	return bits
 }

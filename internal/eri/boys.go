@@ -26,10 +26,10 @@ const maxBoysOrder = 32
 // compared with n).
 func Boys(m int, T float64, out []float64) {
 	if m < 0 || m > maxBoysOrder {
-		panic("eri: Boys order out of range")
+		panic("eri: Boys order out of range") //lint:nopanic-ok programmer error: order is fixed by the engine's compile-time maxL
 	}
 	if T < 0 {
-		panic("eri: negative Boys argument")
+		panic("eri: negative Boys argument") //lint:nopanic-ok programmer error: T = α·|PQ|² is nonnegative by construction
 	}
 	expT := math.Exp(-T)
 	if T > 33 {

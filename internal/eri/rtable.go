@@ -20,7 +20,7 @@ type RTable struct {
 // NewRTable allocates a table supporting total Hermite order up to L.
 func NewRTable(L int) *RTable {
 	if L > maxBoysOrder {
-		panic("eri: RTable order exceeds Boys table capacity")
+		panic("eri: RTable order exceeds Boys table capacity") //lint:nopanic-ok programmer error: L is bounded by the engine's compile-time maxL
 	}
 	s := L + 1
 	return &RTable{
@@ -46,7 +46,7 @@ func (r *RTable) At(t, u, v int) float64 {
 //	R^n_{t+1,u,v} = t·R^{n+1}_{t−1,u,v} + X_PQ·R^{n+1}_{t,u,v}   (etc.)
 func (r *RTable) Build(L int, alpha float64, pqx, pqy, pqz float64) {
 	if L > r.L {
-		panic("eri: Build order exceeds table capacity")
+		panic("eri: Build order exceeds table capacity") //lint:nopanic-ok programmer error: table is sized for the engine's maxL at construction
 	}
 	T := alpha * (pqx*pqx + pqy*pqy + pqz*pqz)
 	Boys(L, T, r.boys[:])

@@ -44,7 +44,7 @@ type Engine struct {
 // maxL (3 = f suffices for the paper's datasets; 4 = g is supported).
 func NewEngine(maxL int) *Engine {
 	if maxL < 0 || 4*maxL > maxBoysOrder {
-		panic("eri: unsupported maximum angular momentum")
+		panic("eri: unsupported maximum angular momentum") //lint:nopanic-ok programmer error: maxL is a construction-time constant
 	}
 	return &Engine{maxL: maxL, rt: NewRTable(4 * maxL)}
 }
@@ -60,11 +60,11 @@ func BlockSize(a, b, c, d *PreparedShell) int {
 func (en *Engine) Quartet(A, B, C, D *PreparedShell, out []float64) {
 	la, lb, lc, ld := A.Shell.L, B.Shell.L, C.Shell.L, D.Shell.L
 	if la > en.maxL || lb > en.maxL || lc > en.maxL || ld > en.maxL {
-		panic("eri: shell angular momentum exceeds engine capacity")
+		panic("eri: shell angular momentum exceeds engine capacity") //lint:nopanic-ok programmer error: caller must size the engine for its basis set
 	}
 	nA, nB, nC, nD := len(A.Comps), len(B.Comps), len(C.Comps), len(D.Comps)
 	if len(out) != nA*nB*nC*nD {
-		panic("eri: output slice has wrong size")
+		panic("eri: output slice has wrong size") //lint:nopanic-ok programmer error: out must be BlockSize() long per the documented contract
 	}
 	for i := range out {
 		out[i] = 0
@@ -132,17 +132,17 @@ func (en *Engine) accumulate(A, B, C, D *PreparedShell, pi, pj, pk, pl int,
 			eyRow := en.eKet[1].Row(eyC, eyD)
 			ezRow := en.eKet[2].Row(ezC, ezD)
 			for tau, ex := range exRow {
-				if ex == 0 {
+				if ex == 0 { //lint:floatcmp-ok sparsity skip: only exact zeros are skipped, which is always sound
 					continue
 				}
 				for mu, ey := range eyRow {
 					exy := ex * ey
-					if exy == 0 {
+					if exy == 0 { //lint:floatcmp-ok sparsity skip: exact zero product of Hermite coefficients
 						continue
 					}
 					for nu, ez := range ezRow {
 						w := exy * ez
-						if w == 0 {
+						if w == 0 { //lint:floatcmp-ok sparsity skip: exact zero weight contributes nothing
 							continue
 						}
 						if (tau+mu+nu)&1 == 1 {
@@ -188,17 +188,17 @@ func (en *Engine) accumulate(A, B, C, D *PreparedShell, pi, pj, pk, pl int,
 			ezRow := en.eBra[2].Row(azA, azB)
 			nw := 0
 			for t, ex := range exRow {
-				if ex == 0 {
+				if ex == 0 { //lint:floatcmp-ok sparsity skip: only exact zeros are skipped, which is always sound
 					continue
 				}
 				for u, ey := range eyRow {
 					exy := ex * ey
-					if exy == 0 {
+					if exy == 0 { //lint:floatcmp-ok sparsity skip: exact zero product of Hermite coefficients
 						continue
 					}
 					rowJ := t*braStride*braStride + u*braStride
 					for v, ez := range ezRow {
-						if w := exy * ez; w != 0 {
+						if w := exy * ez; w != 0 { //lint:floatcmp-ok sparsity skip: exact nonzero weights are kept
 							en.braIdx[nw] = int32(rowJ + v)
 							en.braW[nw] = w
 							nw++

@@ -148,7 +148,9 @@ func (c *Codec) finish() {
 	prevLen := uint8(0)
 	for i, sym := range c.symbols {
 		l := c.lengths[i]
-		next <<= (l - prevLen)
+		// Canonical order sorts by length, so l >= prevLen and both are
+		// <= maxCodeLen = 58; the delta is at most 57.
+		next <<= (l - prevLen) //lint:shiftwidth-ok see invariant above
 		prevLen = l
 		c.codes[sym] = code{bits: next, len: l}
 		if c.decode.count[l] == 0 {

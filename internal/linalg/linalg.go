@@ -23,7 +23,7 @@ func NewMatrix(rows, cols int) *Matrix {
 // FromSlice wraps an existing row-major slice (no copy).
 func FromSlice(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("linalg: slice length %d != %d×%d", len(data), rows, cols))
+		panic(fmt.Sprintf("linalg: slice length %d != %d×%d", len(data), rows, cols)) //lint:nopanic-ok programmer error: shape mismatch is a caller bug, not a data condition
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
@@ -44,14 +44,14 @@ func (m *Matrix) Clone() *Matrix {
 // Mul returns a·b.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)) //lint:nopanic-ok programmer error: shape mismatch is a caller bug
 	}
 	out := NewMatrix(a.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, av := range arow {
-			if av == 0 {
+			if av == 0 { //lint:floatcmp-ok sparsity skip: only exact zeros are skipped, which is always sound
 				continue
 			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
@@ -77,7 +77,7 @@ func (m *Matrix) Transpose() *Matrix {
 // MaxAbsDiff returns max |a_ij − b_ij|.
 func MaxAbsDiff(a, b *Matrix) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("linalg: shape mismatch")
+		panic("linalg: shape mismatch") //lint:nopanic-ok programmer error: shape mismatch is a caller bug
 	}
 	d := 0.0
 	for i := range a.Data {
@@ -238,7 +238,7 @@ func SolveLinear(A *Matrix, b []float64) ([]float64, error) {
 		inv := 1 / A.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := A.At(r, col) * inv
-			if f == 0 {
+			if f == 0 { //lint:floatcmp-ok elimination skip: an exactly-zero factor leaves the row unchanged
 				continue
 			}
 			for c := col; c < n; c++ {
@@ -261,7 +261,7 @@ func SolveLinear(A *Matrix, b []float64) ([]float64, error) {
 // Trace returns Σ a_ii.
 func (m *Matrix) Trace() float64 {
 	if m.Rows != m.Cols {
-		panic("linalg: trace of non-square matrix")
+		panic("linalg: trace of non-square matrix") //lint:nopanic-ok programmer error: shape mismatch is a caller bug
 	}
 	t := 0.0
 	for i := 0; i < m.Rows; i++ {

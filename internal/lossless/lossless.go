@@ -45,7 +45,7 @@ func Decompress(comp []byte) ([]float64, error) {
 		return nil, fmt.Errorf("lossless: implausible element count %d", n)
 	}
 	r := flate.NewReader(bytes.NewReader(comp[8:]))
-	defer r.Close()
+	defer r.Close() //lint:errdrop-ok close error is moot: stream validity is checked via the decoded byte count below
 	// Decode incrementally so memory tracks the actual decodable
 	// content, not a (possibly corrupt) declared count.
 	var buf bytes.Buffer

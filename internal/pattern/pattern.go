@@ -167,7 +167,7 @@ func analyzeAggregate(block []float64, numSB, sbSize int, agg func([]float64) fl
 // all-zero pattern) it returns 0 so downstream error correction absorbs
 // everything.
 func safeRatio(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 { //lint:floatcmp-ok degenerate-pattern sentinel: only an exactly-zero extremum divides badly
 		return 0
 	}
 	r := a / b

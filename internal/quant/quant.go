@@ -70,7 +70,7 @@ func BitsForRange(maxAbs int64) uint {
 // round(|pExt|/(2·eb)) and P_b is the two's-complement width covering it.
 func PatternBits(pExt, eb float64) uint {
 	if eb <= 0 {
-		panic("quant: error bound must be positive")
+		panic("quant: error bound must be positive") //lint:nopanic-ok programmer error: core.Config validates eb > 0 at the API boundary
 	}
 	maxQ := int64(math.Round(math.Abs(pExt) / (2 * eb)))
 	return BitsForRange(maxQ)

@@ -210,7 +210,7 @@ func ErrorBound(comp []byte) (float64, error) {
 // the predictor ablation benchmark, not concurrent use with Compress.
 func SetPredictorOrder(n int) {
 	if n < 1 || n > 3 {
-		panic("sz: predictor order must be 1, 2 or 3")
+		panic("sz: predictor order must be 1, 2 or 3") //lint:nopanic-ok programmer error: benchmark knob with a documented 1..3 domain
 	}
 	predictorOrder = n
 }
