@@ -10,7 +10,9 @@ package pastri_test
 // directory; the first `go test -bench` run pays ERI-generation time.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	pastri "repro"
@@ -351,6 +353,72 @@ func BenchmarkParallelScaling(b *testing.B) {
 			b.SetBytes(ds.rawBytes)
 			for i := 0; i < b.N; i++ {
 				if _, err := pastri.Compress(ds.data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressWorkers compares the serial path against
+// CompressWorkers at 2/4/8 workers on ERI-shaped blocks. Output bytes
+// are identical at every worker count (asserted once up front), so this
+// measures pure scheduling overhead/speedup. Speedup tracks physical
+// cores; on a single-core machine the curve is flat.
+func BenchmarkCompressWorkers(b *testing.B) {
+	ds := getDataset(b, "alanine", 2)
+	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	serial, err := pastri.CompressWorkers(ds.data, opts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(ds.rawBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := pastri.CompressWorkers(ds.data, opts, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			comp, err := pastri.CompressWorkers(ds.data, opts, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(comp, serial) {
+				b.Fatalf("workers=%d output differs from serial", workers)
+			}
+			b.SetBytes(ds.rawBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := pastri.CompressWorkers(ds.data, opts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelStreamWriter measures the incremental parallel path:
+// blocks submitted one at a time, payloads sequenced in order.
+func BenchmarkParallelStreamWriter(b *testing.B) {
+	ds := getDataset(b, "alanine", 2)
+	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	bs := opts.BlockSize()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.SetBytes(ds.rawBytes)
+			for i := 0; i < b.N; i++ {
+				w, err := pastri.NewParallelStreamWriter(io.Discard, opts, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for blk := 0; blk*bs < len(ds.data); blk++ {
+					if err := w.WriteBlock(ds.data[blk*bs : (blk+1)*bs]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	pastri "repro"
 )
@@ -33,7 +34,7 @@ func main() {
 		metric     = flag.String("metric", "ER", "scaling metric: ER|FR|AR|AAR|IS")
 		inPath     = flag.String("in", "", "input file")
 		outPath    = flag.String("out", "", "output file")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (0 = all cores)")
 	)
 	flag.Parse()
 	if err := run(*compress, *decompress, *info, *numSB, *sbSize, *eb, *metric,

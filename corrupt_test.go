@@ -1,0 +1,104 @@
+package pastri
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Error-path battery at the public API: Inspect, MaxError and
+// NewBlockReader on bit-flipped and prefix-cut streams derived from the
+// golden fixtures must return errors (or a self-consistent success for
+// benign payload flips) — never panic or read out of bounds.
+
+func goldenStreams(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := filepath.Join("internal", "core", "testdata", "golden")
+	matches, err := filepath.Glob(filepath.Join(dir, "*.pstr"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no golden fixtures under %s (err=%v)", dir, err)
+	}
+	out := map[string][]byte{}
+	for _, p := range matches {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+func TestInspectMaxErrorOnCorruptStreams(t *testing.T) {
+	for name, stream := range goldenStreams(t) {
+		want, err := Inspect(stream)
+		if err != nil {
+			t.Fatalf("%s: pristine stream rejected: %v", name, err)
+		}
+		for pos := range stream {
+			for _, bit := range []byte{0x01, 0x10, 0x80} {
+				m := append([]byte(nil), stream...)
+				m[pos] ^= bit
+				// Must not panic; success is allowed only with sane fields.
+				if si, err := Inspect(m); err == nil {
+					if si.Options.Validate() != nil {
+						t.Fatalf("%s flip @%d: Inspect returned invalid options %+v",
+							name, pos, si.Options)
+					}
+				}
+				if me, err := MaxError(m); err == nil {
+					if !(me > 0) {
+						t.Fatalf("%s flip @%d: MaxError returned non-positive bound %g",
+							name, pos, me)
+					}
+				}
+				br, err := NewBlockReader(m)
+				if err != nil {
+					continue
+				}
+				dst := make([]float64, br.BlockSize())
+				for b := 0; b < br.NumBlocks(); b++ {
+					_ = br.ReadBlock(b, dst) // errors fine, panics are not
+				}
+			}
+		}
+		_ = want
+	}
+}
+
+func TestInspectMaxErrorOnTruncatedStreams(t *testing.T) {
+	for name, stream := range goldenStreams(t) {
+		for cut := 0; cut < len(stream); cut++ {
+			prefix := stream[:cut]
+			if _, err := NewBlockReader(prefix); err == nil {
+				t.Fatalf("%s: NewBlockReader accepted %d/%d-byte prefix", name, cut, len(stream))
+			}
+			if _, err := Inspect(prefix); err == nil {
+				t.Fatalf("%s: Inspect accepted %d/%d-byte prefix", name, cut, len(stream))
+			}
+			if _, err := MaxError(prefix); err == nil {
+				t.Fatalf("%s: MaxError accepted %d/%d-byte prefix", name, cut, len(stream))
+			}
+		}
+	}
+}
+
+func TestBlockReaderOutOfRange(t *testing.T) {
+	for _, stream := range goldenStreams(t) {
+		br, err := NewBlockReader(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, br.BlockSize())
+		if err := br.ReadBlock(-1, dst); err == nil {
+			t.Fatal("negative block index accepted")
+		}
+		if err := br.ReadBlock(br.NumBlocks(), dst); err == nil {
+			t.Fatal("past-the-end block index accepted")
+		}
+		if err := br.ReadBlock(0, dst[:len(dst)-1]); err == nil {
+			t.Fatal("short destination accepted")
+		}
+		break
+	}
+}

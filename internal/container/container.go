@@ -23,6 +23,8 @@ package container
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -91,8 +93,15 @@ func (w *Writer) Sections() int { return len(w.geos) }
 // Blocks returns the total number of blocks written.
 func (w *Writer) Blocks() int { return len(w.order) }
 
-// Bytes serializes the container.
+// Bytes serializes the container. Sections are compressed concurrently
+// (bounded by the base config's Workers setting, 0 ⇒ GOMAXPROCS), then
+// appended in section order, so the output is byte-identical no matter
+// how the work was scheduled.
 func (w *Writer) Bytes() ([]byte, error) {
+	streams, err := w.compressSections()
+	if err != nil {
+		return nil, err
+	}
 	var out []byte
 	out = append(out, magic[:]...)
 	out = append(out, version)
@@ -107,18 +116,77 @@ func (w *Writer) Bytes() ([]byte, error) {
 		n := binary.PutUvarint(vb[:], uint64(s))
 		out = append(out, vb[:n]...)
 	}
-	for i, g := range w.geos {
-		cfg := w.cfgBase
-		cfg.NumSB, cfg.SBSize = g.NumSB, g.SBSize
-		stream, err := core.Compress(w.raw[i], cfg, nil)
-		if err != nil {
-			return nil, err
-		}
+	for _, stream := range streams {
 		n := binary.PutUvarint(vb[:], uint64(len(stream)))
 		out = append(out, vb[:n]...)
 		out = append(out, stream...)
 	}
 	return out, nil
+}
+
+// compressSections compresses every section into its own stream,
+// fanning sections out over a bounded pool. streams[i] depends only on
+// section i's blocks and the base config, never on scheduling. Each
+// section's internal block fan-out is disabled (Workers=1) in favor of
+// section-level parallelism when there are several sections; a
+// single-section container still parallelizes over its blocks.
+func (w *Writer) compressSections() ([][]byte, error) {
+	streams := make([][]byte, len(w.geos))
+	workers := w.cfgBase.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(w.geos) {
+		workers = len(w.geos)
+	}
+	if workers <= 1 {
+		for i, g := range w.geos {
+			cfg := w.cfgBase
+			cfg.NumSB, cfg.SBSize = g.NumSB, g.SBSize
+			stream, err := core.Compress(w.raw[i], cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			streams[i] = stream
+		}
+		return streams, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, len(w.geos))
+	for i := range w.geos {
+		next <- i
+	}
+	close(next)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cfg := w.cfgBase
+				cfg.NumSB, cfg.SBSize = w.geos[i].NumSB, w.geos[i].SBSize
+				cfg.Workers = 1 // section-level parallelism only
+				stream, err := core.Compress(w.raw[i], cfg, nil)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("container: section %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				streams[i] = stream
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return streams, nil
 }
 
 // Reader decodes a container.

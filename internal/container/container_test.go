@@ -1,6 +1,7 @@
 package container
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -158,5 +159,46 @@ func TestGeometryOfBounds(t *testing.T) {
 	}
 	if _, err := r.GeometryOf(1); err == nil {
 		t.Error("out-of-range index accepted")
+	}
+}
+
+// TestParallelBytesDeterministic pins the Bytes() determinism contract:
+// the serialized container is byte-identical whether sections are
+// compressed serially or concurrently.
+func TestParallelBytesDeterministic(t *testing.T) {
+	build := func(workers int) []byte {
+		rng := rand.New(rand.NewSource(99))
+		base := core.Defaults(1, 1, 1e-10)
+		base.Workers = workers
+		w, err := NewWriter(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geos := []Geometry{{4, 9}, {6, 10}, {9, 4}, {10, 6}, {3, 3}}
+		for i := 0; i < 60; i++ {
+			g := geos[i%len(geos)]
+			if err := w.WriteBlock(g, patterned(rng, g, 1e-6)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf, err := w.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	serial := build(1)
+	for _, workers := range []int{0, 2, 4, 7} {
+		if par := build(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: container bytes differ from serial", workers)
+		}
+	}
+	// And the parallel-built container must replay correctly.
+	r, err := NewReader(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 60 {
+		t.Fatalf("Blocks() = %d, want 60", r.Blocks())
 	}
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Corruption battery derived from the golden fixtures: bit-flipped and
+// prefix-cut streams must produce errors (or, for payload-only flips, a
+// consistent success) — never a panic, out-of-bounds read or runaway
+// allocation. The golden streams are exact-count files, so every strict
+// prefix is invalid by construction.
+
+// flipVariants yields one mutated copy per (byte, bit) of interest.
+func flipVariants(src []byte) [][]byte {
+	var out [][]byte
+	for pos := range src {
+		for _, bit := range []byte{0x01, 0x10, 0x80} {
+			m := append([]byte(nil), src...)
+			m[pos] ^= bit
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestDecompressBitFlips(t *testing.T) {
+	for name, stream := range goldenStreamFiles(t) {
+		cfgOrig, _, _, err := ParseHeader(stream)
+		if err != nil {
+			t.Fatalf("%s: golden stream unparsable: %v", name, err)
+		}
+		for i, m := range flipVariants(stream) {
+			out, err := Decompress(m, 1)
+			if err != nil {
+				continue
+			}
+			// A flip that still decodes must at least be self-consistent.
+			cfg, _, _, err2 := ParseHeader(m)
+			if err2 != nil {
+				t.Fatalf("%s flip %d: Decompress ok but ParseHeader failed: %v", name, i, err2)
+			}
+			if len(out)%cfg.BlockSize() != 0 {
+				t.Fatalf("%s flip %d: %d values is not whole blocks of %d",
+					name, i, len(out), cfg.BlockSize())
+			}
+			_ = cfgOrig
+		}
+	}
+}
+
+func TestBlockReaderTruncation(t *testing.T) {
+	for name, stream := range goldenStreamFiles(t) {
+		for cut := 0; cut < len(stream); cut++ {
+			if _, err := NewBlockReader(stream[:cut]); err == nil {
+				t.Fatalf("%s: NewBlockReader accepted %d-byte prefix of %d-byte stream",
+					name, cut, len(stream))
+			}
+			if _, err := Decompress(stream[:cut], 1); err == nil {
+				t.Fatalf("%s: Decompress accepted %d-byte prefix of %d-byte stream",
+					name, cut, len(stream))
+			}
+		}
+	}
+}
+
+func TestStreamReaderTruncation(t *testing.T) {
+	for name, stream := range goldenStreamFiles(t) {
+		br, err := NewBlockReader(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, br.Config().BlockSize())
+		for cut := 0; cut < len(stream); cut++ {
+			sr, err := NewStreamReader(bytes.NewReader(stream[:cut]))
+			if err != nil {
+				continue // header already rejected
+			}
+			sawErr := false
+			for b := 0; b < br.NumBlocks(); b++ {
+				if err := sr.ReadBlock(dst); err != nil {
+					sawErr = true
+					break
+				}
+			}
+			if !sawErr {
+				t.Fatalf("%s: StreamReader replayed all %d blocks from a %d/%d-byte prefix",
+					name, br.NumBlocks(), cut, len(stream))
+			}
+		}
+	}
+}

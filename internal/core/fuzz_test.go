@@ -34,6 +34,21 @@ func FuzzDecompress(f *testing.F) {
 		m[pos] ^= 0x40
 		f.Add(m)
 	}
+	// Golden fixtures and mutated variants: every committed stream
+	// shape, plus bit flips at header/index/payload offsets and a
+	// mid-stream truncation of each.
+	for _, g := range goldenStreamFiles(f) {
+		f.Add(g)
+		f.Add(g[:len(g)/2])
+		for _, pos := range []int{5, 16, 31, 33, len(g) / 2, len(g) - 1} {
+			if pos < 0 || pos >= len(g) {
+				continue
+			}
+			m := append([]byte(nil), g...)
+			m[pos] ^= 0x04
+			f.Add(m)
+		}
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		out, err := Decompress(b, 1)
 		if err == nil {

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/encoding"
+)
+
+// Golden-format fixtures pin the on-disk stream format across PRs:
+// committed compressed streams must decode to the committed
+// reconstruction bit-exactly, and re-encoding the committed raw input
+// must reproduce the committed stream byte-for-byte — at every worker
+// count. Regenerate with
+//
+//	go test ./internal/core -run TestGolden -update-golden
+//
+// only on a deliberate, versioned format change.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden fixtures")
+
+const goldenDir = "testdata/golden"
+
+// goldenRNG is a self-contained xorshift64* generator so fixture data
+// never depends on math/rand's sequence.
+type goldenRNG uint64
+
+func (r *goldenRNG) next() float64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = goldenRNG(x)
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53) // [0, 1)
+}
+
+// goldenData builds deterministic ERI-shaped blocks: a shared rational
+// pattern per sub-block (no math.Sin — plain IEEE ops only), geometric
+// scales, and noise at a multiple of the quantization bin.
+func goldenData(cfg Config, nblocks int, amp, noiseBins float64, seed uint64) []float64 {
+	rng := goldenRNG(seed)
+	data := make([]float64, nblocks*cfg.BlockSize())
+	for b := 0; b < nblocks; b++ {
+		for s := 0; s < cfg.NumSB; s++ {
+			scale := amp / (1 + 0.5*float64(s)) * (1 - 2*float64((b+s)%2))
+			base := b*cfg.BlockSize() + s*cfg.SBSize
+			for i := 0; i < cfg.SBSize; i++ {
+				x := float64(i+1) / float64(cfg.SBSize)
+				p := x / (0.25 + x*x) // smooth, peaked, exactly reproducible
+				noise := (rng.next() - 0.5) * 2 * cfg.ErrorBound * noiseBins
+				data[base+i] = scale*p + noise
+			}
+		}
+	}
+	return data
+}
+
+type goldenCase struct {
+	name string
+	cfg  Config
+	data func(cfg Config) []float64
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			// The paper's headline shape: (dd|dd)-like geometry, GAMESS bound.
+			name: "dd_eb1e-10",
+			cfg:  Defaults(4, 9, 1e-10),
+			data: func(cfg Config) []float64 { return goldenData(cfg, 3, 1e-6, 40, 1) },
+		},
+		{
+			// Different sub-block split and a coarse bound: Type-0/1 rich.
+			name: "split2x18_eb1e-3",
+			cfg:  Defaults(2, 18, 1e-3),
+			data: func(cfg Config) []float64 { return goldenData(cfg, 2, 0.5, 2, 2) },
+		},
+		{
+			// All-zero blocks: the degenerate Type-0 path.
+			name: "allzero_eb1e-12",
+			cfg:  Defaults(4, 4, 1e-12),
+			data: func(cfg Config) []float64 { return make([]float64, 2*cfg.BlockSize()) },
+		},
+		{
+			// Denormal-heavy values near the bottom of the double range.
+			name: "denormal_eb1e-315",
+			cfg:  Defaults(3, 5, 1e-315),
+			data: func(cfg Config) []float64 { return goldenData(cfg, 2, 1e-310, 8, 3) },
+		},
+		{
+			// Non-default encoder, dense-only ECQ, tight bound.
+			name: "tree1_dense_eb1e-8",
+			cfg: Config{NumSB: 6, SBSize: 10, ErrorBound: 1e-8,
+				Metric: Defaults(1, 1, 1).Metric, Encoding: encoding.Tree1, DisableSparse: true},
+			data: func(cfg Config) []float64 { return goldenData(cfg, 4, 1e-4, 100, 4) },
+		},
+	}
+}
+
+func f64sToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+func bytesToF64s(t *testing.T, b []byte) []float64 {
+	t.Helper()
+	if len(b)%8 != 0 {
+		t.Fatalf("fixture length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func goldenPaths(name string) (pstr, raw, dec string) {
+	return filepath.Join(goldenDir, name+".pstr"),
+		filepath.Join(goldenDir, name+".raw.f64"),
+		filepath.Join(goldenDir, name+".dec.f64")
+}
+
+func TestGoldenStreams(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			pstrPath, rawPath, decPath := goldenPaths(gc.name)
+			data := gc.data(gc.cfg)
+
+			if *updateGolden {
+				comp, err := CompressWorkers(data, gc.cfg, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := Decompress(comp, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				for p, b := range map[string][]byte{
+					pstrPath: comp, rawPath: f64sToBytes(data), decPath: f64sToBytes(dec),
+				} {
+					if err := os.WriteFile(p, b, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				t.Logf("rewrote %s (%d bytes)", pstrPath, len(comp))
+				return
+			}
+
+			wantComp, err := os.ReadFile(pstrPath)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden): %v", err)
+			}
+			wantRawB, err := os.ReadFile(rawPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDecB, err := os.ReadFile(decPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRaw := bytesToF64s(t, wantRawB)
+			wantDec := bytesToF64s(t, wantDecB)
+
+			// The generator itself must still be deterministic.
+			if !bytes.Equal(f64sToBytes(data), wantRawB) {
+				t.Fatal("golden raw input drifted: generator is no longer deterministic")
+			}
+
+			// Re-encode to identical bytes, serial and parallel.
+			for _, workers := range []int{1, 2, 4} {
+				comp, err := CompressWorkers(wantRaw, gc.cfg, workers, nil)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(comp, wantComp) {
+					t.Fatalf("workers=%d: re-encoded stream differs from golden %s", workers, pstrPath)
+				}
+			}
+
+			// Decode the committed stream bit-exactly.
+			dec, err := Decompress(wantComp, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dec) != len(wantDec) {
+				t.Fatalf("decoded %d values, golden has %d", len(dec), len(wantDec))
+			}
+			for i := range dec {
+				if math.Float64bits(dec[i]) != math.Float64bits(wantDec[i]) {
+					t.Fatalf("value %d: decoded %x, golden %x",
+						i, math.Float64bits(dec[i]), math.Float64bits(wantDec[i]))
+				}
+			}
+
+			// And the decode must honor the recorded error bound vs the raw.
+			for i := range dec {
+				if math.Abs(dec[i]-wantRaw[i]) > gc.cfg.ErrorBound {
+					t.Fatalf("value %d: |err| %g > EB %g",
+						i, math.Abs(dec[i]-wantRaw[i]), gc.cfg.ErrorBound)
+				}
+			}
+		})
+	}
+}
+
+// goldenStreamFiles returns the committed .pstr fixtures, for reuse by
+// the corruption and fuzz batteries.
+func goldenStreamFiles(t testing.TB) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("golden fixtures missing: %v", err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".pstr" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	if len(out) == 0 {
+		t.Fatal("no .pstr fixtures under testdata/golden")
+	}
+	return out
+}

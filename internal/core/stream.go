@@ -37,8 +37,8 @@ const streamVersion = 1
 const headerSize = 4 + 1 + 1 + 1 + 1 + 8 + 4 + 4 + 8
 
 // Compress compresses data (a whole number of blocks) under cfg,
-// fanning blocks out over cfg.Workers goroutines. If stats is non-nil it
-// receives the merged per-block statistics.
+// fanning blocks out over cfg.Workers goroutines (see parallel.go). If
+// stats is non-nil it receives the merged per-block statistics.
 func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -47,85 +47,12 @@ func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
 	if len(data)%bs != 0 {
 		return nil, fmt.Errorf("core: data length %d is not a multiple of block size %d", len(data), bs)
 	}
-	nblocks := len(data) / bs
 
-	// Compress every block independently.
-	payloads := make([][]byte, nblocks)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	payloads, err := compressPayloads(data, cfg, cfg.Workers, stats)
+	if err != nil {
+		return nil, err
 	}
-	if workers > nblocks {
-		workers = nblocks
-	}
-	if workers <= 1 {
-		enc, err := NewBlockEncoder(cfg)
-		if err != nil {
-			return nil, err
-		}
-		enc.CollectStats(stats)
-		w := bitio.NewWriter(bs)
-		for b := 0; b < nblocks; b++ {
-			w.Reset()
-			if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
-				return nil, err
-			}
-			payloads[b] = append([]byte(nil), w.Bytes()...)
-		}
-	} else {
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		next := make(chan int, nblocks)
-		for b := 0; b < nblocks; b++ {
-			next <- b
-		}
-		close(next)
-		for wk := 0; wk < workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				enc, err := NewBlockEncoder(cfg)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				var local *Stats
-				if stats != nil {
-					local = NewStats()
-					enc.CollectStats(local)
-				}
-				w := bitio.NewWriter(bs)
-				for b := range next {
-					w.Reset()
-					if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					payloads[b] = append([]byte(nil), w.Bytes()...)
-				}
-				if local != nil {
-					mu.Lock()
-					stats.Merge(local)
-					mu.Unlock()
-				}
-			}()
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	}
+	nblocks := len(payloads)
 
 	// Assemble the stream.
 	total := headerSize

@@ -175,6 +175,37 @@ func LosslessBaseline(blocks int) (float64, error) {
 	return float64(raw) / float64(comp), nil
 }
 
+// ParallelRow is one worker count's throughput measurement.
+type ParallelRow struct {
+	Workers        int
+	CompressMBps   float64
+	DecompressMBps float64
+}
+
+// ParallelScaling measures PaSTRI compress/decompress throughput at
+// power-of-two worker counts up to maxWorkers on the alanine (dd|dd)
+// workload — the block-parallel scaling claim of Sec. IV-C.
+func ParallelScaling(blocks, maxWorkers int) ([]ParallelRow, error) {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	spec := dataset.Spec{Molecule: "alanine", L: 2, MaxBlocks: blocks}
+	var rows []ParallelRow
+	for w := 1; ; w *= 2 {
+		if w > maxWorkers {
+			w = maxWorkers
+		}
+		c, d, err := PaSTRIParallelRate(spec, 1e-10, w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ParallelRow{Workers: w, CompressMBps: c, DecompressMBps: d})
+		if w == maxWorkers {
+			return rows, nil
+		}
+	}
+}
+
 // PaSTRIParallelRate measures PaSTRI's multi-worker throughput on one
 // dataset (MB/s of raw data), demonstrating the block-parallel design
 // of Sec. IV-C.

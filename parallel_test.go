@@ -1,0 +1,85 @@
+package pastri
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The public parallel API must be a drop-in for the serial one: same
+// bytes out of CompressWorkers and ParallelStreamWriter as out of
+// Compress and StreamWriter, same error-bound guarantee on the way
+// back.
+
+func TestCompressWorkersPublicByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opts := NewOptions(6, 10, 1e-10)
+	opts.Workers = 1
+	data := patterned(rng, 23, 6, 10, 1e-6, 1e-11)
+	serial, err := Compress(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		par, err := CompressWorkers(data, opts, n)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", n, err)
+		}
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: CompressWorkers differs from Compress", n)
+		}
+	}
+}
+
+func TestParallelStreamWriterPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	opts := NewOptions(4, 9, 1e-9)
+	data := patterned(rng, 17, 4, 9, 1e-5, 1e-10)
+	bs := opts.BlockSize()
+
+	var serial bytes.Buffer
+	sw, err := NewStreamWriter(&serial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b*bs < len(data); b++ {
+		if err := sw.WriteBlock(data[b*bs : (b+1)*bs]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var par bytes.Buffer
+	pw, err := NewParallelStreamWriter(&par, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b*bs < len(data); b++ {
+		if err := pw.WriteBlock(data[b*bs : (b+1)*bs]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Fatal("ParallelStreamWriter stream differs from StreamWriter")
+	}
+	if pw.Blocks() != sw.Blocks() {
+		t.Fatalf("Blocks() = %d, serial wrote %d", pw.Blocks(), sw.Blocks())
+	}
+
+	got, err := Decompress(par.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(got[i]-data[i]) > opts.ErrorBound {
+			t.Fatalf("error bound violated at %d: |%g - %g| > %g",
+				i, data[i], got[i], opts.ErrorBound)
+		}
+	}
+}

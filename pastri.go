@@ -111,6 +111,15 @@ func Compress(data []float64, o Options) ([]byte, error) {
 	return core.Compress(data, o.internal(), nil)
 }
 
+// CompressWorkers is Compress with an explicit worker count that
+// overrides o.Workers (0 means GOMAXPROCS). Blocks are compressed
+// concurrently and assembled in block order, so the output is
+// byte-identical to the serial path for every worker count — the
+// stream carries no trace of how it was parallelized.
+func CompressWorkers(data []float64, o Options, workers int) ([]byte, error) {
+	return core.CompressWorkers(data, o.internal(), workers, nil)
+}
+
 // Decompress reconstructs the original values from a compressed stream,
 // exact to within the stream's recorded error bound. It uses all
 // available cores; use DecompressWorkers to bound parallelism.
@@ -132,21 +141,20 @@ type StreamInfo struct {
 	RawBytes uint64
 }
 
-// Inspect parses a compressed stream's header. Streams written
-// incrementally (NewStreamWriter) record no block count, so Inspect
-// scans their block index to recover it.
+// Inspect parses a compressed stream's header and validates its block
+// index, so a truncated or corrupt stream does not inspect cleanly.
+// Streams written incrementally (NewStreamWriter) record no block
+// count; Inspect recovers it from the index scan.
 func Inspect(comp []byte) (StreamInfo, error) {
-	cfg, nblocks, _, err := core.ParseHeader(comp)
+	cfg, _, _, err := core.ParseHeader(comp)
 	if err != nil {
 		return StreamInfo{}, err
 	}
-	if nblocks == ^uint64(0) { // streamed file: count the blocks
-		br, err := core.NewBlockReader(comp)
-		if err != nil {
-			return StreamInfo{}, err
-		}
-		nblocks = uint64(br.NumBlocks())
+	br, err := core.NewBlockReader(comp)
+	if err != nil {
+		return StreamInfo{}, err
 	}
+	nblocks := uint64(br.NumBlocks())
 	return StreamInfo{
 		Options: Options{
 			NumSubBlocks:  cfg.NumSB,
@@ -259,6 +267,41 @@ func (s *StreamWriter) Blocks() uint64 { return s.w.Blocks() }
 
 // Close flushes buffered output; the underlying writer stays open.
 func (s *StreamWriter) Close() error { return s.w.Close() }
+
+// ParallelStreamWriter is StreamWriter with a bounded worker pool:
+// WriteBlock hands each block to the pool and a sequencer writes the
+// compressed payloads in submission order, so the stream it produces is
+// byte-identical to StreamWriter's for the same blocks. Encoding errors
+// may surface on a later WriteBlock or on Close (the pipeline is
+// asynchronous); Close always reports the first error in block order.
+// WriteBlock and Close must be called from a single goroutine.
+type ParallelStreamWriter struct {
+	w *core.ParallelStreamWriter
+}
+
+// NewParallelStreamWriter writes a stream header to w and returns a
+// writer that compresses each WriteBlock over workers goroutines
+// (0 means GOMAXPROCS). Close drains the pipeline and flushes.
+func NewParallelStreamWriter(w io.Writer, o Options, workers int) (*ParallelStreamWriter, error) {
+	pw, err := core.NewParallelStreamWriter(w, o.internal(), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelStreamWriter{w: pw}, nil
+}
+
+// WriteBlock submits one block of o.BlockSize() values for compression.
+// The block is copied; the caller may reuse it immediately.
+func (s *ParallelStreamWriter) WriteBlock(block []float64) error { return s.w.WriteBlock(block) }
+
+// Blocks returns the number of blocks fully written to the underlying
+// writer so far; after a successful Close it equals the number
+// submitted.
+func (s *ParallelStreamWriter) Blocks() uint64 { return s.w.Blocks() }
+
+// Close drains the worker pool, flushes buffered output and returns the
+// first error in block order, if any. The underlying writer stays open.
+func (s *ParallelStreamWriter) Close() error { return s.w.Close() }
 
 // StreamReader decompresses blocks incrementally from an io.Reader.
 type StreamReader struct {
