@@ -9,7 +9,7 @@ FUZZTIME ?= 5s
 # PR; the floor leaves a small margin for refactors).
 COVER_THRESHOLD ?= 88.0
 
-.PHONY: build test vet lint race fuzz-smoke cover verify clean
+.PHONY: build test vet lint race fuzz-smoke bench-smoke cover verify clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/sz
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/zfp
 
+# bench-smoke: execute (not measure) the perf-sensitive benchmarks once
+# each, so a PR that breaks the telemetry zero-cost path or the parallel
+# compressor's determinism check fails loudly in CI without paying full
+# benchmark time. BenchmarkCompressWorkers asserts byte-identical output
+# across worker counts; BenchmarkTelemetryOverhead exercises both the
+# nil-collector and live-collector paths.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^(BenchmarkTelemetryOverhead|BenchmarkCompressWorkers)$$' \
+		-benchtime=1x .
+
 # cover: combined coverage of the codec core (internal/core +
 # internal/encoding) over their own tests plus the public-API suite;
 # fails below COVER_THRESHOLD so future PRs can't silently shed tests.
@@ -53,7 +63,7 @@ cover:
 			printf "combined core+encoding coverage: %s%% (floor $(COVER_THRESHOLD)%%)\n", pct; \
 			if (pct + 0 < $(COVER_THRESHOLD)) { exit 1 } }'
 
-verify: build test vet lint race fuzz-smoke cover
+verify: build test vet lint race fuzz-smoke bench-smoke cover
 	@echo "verify: OK"
 
 clean:

@@ -426,6 +426,42 @@ func BenchmarkParallelStreamWriter(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead compares compression with no collector
+// (the default: every telemetry call is a nil-receiver early return,
+// no clock reads) against a live collector with the trace ring on.
+// The disabled sub-benchmark is the acceptance gate: it must stay
+// within 2% of a build that predates the telemetry layer, which in
+// practice means within noise of the enabled=false path since the
+// instrumentation compiles to an untaken branch. Run both serial, so
+// scheduling variance doesn't mask the per-block cost.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	ds := getDataset(b, "alanine", 2)
+	b.Run("disabled", func(b *testing.B) {
+		opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+		opts.Workers = 1
+		b.SetBytes(ds.rawBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := pastri.Compress(ds.data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+		opts.Workers = 1
+		opts.Collector = pastri.NewCollector()
+		b.SetBytes(ds.rawBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := pastri.Compress(ds.data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if snap := opts.Collector.Snapshot(); snap.Blocks == 0 {
+			b.Fatal("collector recorded nothing")
+		}
+	})
+}
+
 // BenchmarkBlockCodec isolates the per-block encode/decode hot path
 // (one (dd|dd) block, no stream framing).
 func BenchmarkBlockCodec(b *testing.B) {

@@ -333,11 +333,13 @@ func parallelScaling(blocks, maxWorkers int) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workers\tcompress MB/s\tdecompress MB/s\tspeedup (c)")
+	fmt.Fprintln(tw, "workers\tcompress MB/s\tdecompress MB/s\tspeedup (c)\tefficiency")
 	base := rows[0].CompressMBps
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2fx\n",
-			r.Workers, r.CompressMBps, r.DecompressMBps, r.CompressMBps/base)
+		speedup := r.CompressMBps / base
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2fx\t%.0f%%\n",
+			r.Workers, r.CompressMBps, r.DecompressMBps, speedup,
+			100*speedup/float64(r.Workers))
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -10,15 +10,33 @@
 // Input for -c is raw little-endian float64 data containing a whole
 // number of blocks (numsb × sbsize values each), e.g. a dump produced
 // by the erigen tool.
+//
+// Observability (see the "Observability" section of README.md):
+//
+//	-stats           print a per-stage/per-encoding summary after the run
+//	-statsjson PATH  write the full telemetry snapshot as JSON ("-" = stdout)
+//	-trace           print the per-block trace ring (most recent blocks)
+//	-pprof ADDR      serve net/http/pprof and expvar (/debug/pprof,
+//	                 /debug/vars with the live "pastri" snapshot) during
+//	                 the run, e.g. -pprof localhost:6060
 package main
 
 import (
 	"encoding/binary"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
 
 	pastri "repro"
 )
@@ -35,19 +53,55 @@ func main() {
 		inPath     = flag.String("in", "", "input file")
 		outPath    = flag.String("out", "", "output file")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (0 = all cores)")
+		stats      = flag.Bool("stats", false, "print per-stage/per-encoding telemetry after the run")
+		statsJSON  = flag.String("statsjson", "", "write telemetry snapshot JSON to this path (\"-\" = stdout)")
+		trace      = flag.Bool("trace", false, "print the per-block trace ring after the run")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address during the run")
 	)
 	flag.Parse()
-	if err := run(*compress, *decompress, *info, *numSB, *sbSize, *eb, *metric,
-		*inPath, *outPath, *workers); err != nil {
+	o := cliOpts{
+		compress: *compress, decompress: *decompress, info: *info,
+		numSB: *numSB, sbSize: *sbSize, eb: *eb, metric: *metric,
+		inPath: *inPath, outPath: *outPath, workers: *workers,
+		stats: *stats, statsJSON: *statsJSON, trace: *trace, pprofAddr: *pprofAddr,
+		stdout: os.Stdout,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "pastri: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(compress, decompress, info bool, numSB, sbSize int, eb float64,
-	metric, inPath, outPath string, workers int) error {
+// cliOpts carries the parsed command line; tests construct it directly
+// and capture stdout through the embedded writer.
+type cliOpts struct {
+	compress, decompress, info bool
+	numSB, sbSize              int
+	eb                         float64
+	metric                     string
+	inPath, outPath            string
+	workers                    int
+
+	stats     bool
+	statsJSON string
+	trace     bool
+	pprofAddr string
+
+	stdout io.Writer
+}
+
+// collecting reports whether any observability flag needs a live
+// collector.
+func (o cliOpts) collecting() bool {
+	return o.stats || o.statsJSON != "" || o.trace || o.pprofAddr != ""
+}
+
+func run(o cliOpts) error {
+	if o.stdout == nil {
+		o.stdout = os.Stdout
+	}
 	modes := 0
-	for _, m := range []bool{compress, decompress, info} {
+	for _, m := range []bool{o.compress, o.decompress, o.info} {
 		if m {
 			modes++
 		}
@@ -55,33 +109,46 @@ func run(compress, decompress, info bool, numSB, sbSize int, eb float64,
 	if modes != 1 {
 		return fmt.Errorf("pick exactly one of -c, -d, -info")
 	}
-	if inPath == "" {
+	if o.inPath == "" {
 		return fmt.Errorf("-in is required")
 	}
-	in, err := os.ReadFile(inPath)
+	in, err := os.ReadFile(o.inPath)
 	if err != nil {
 		return err
 	}
 
+	var col *pastri.Collector
+	if o.collecting() {
+		col = pastri.NewCollector()
+	}
+	if o.pprofAddr != "" {
+		ln, err := startDebugServer(o.pprofAddr, col)
+		if err != nil {
+			return err
+		}
+		defer ln.Close() //lint:errdrop-ok best-effort teardown of the debug listener on exit
+		fmt.Fprintf(o.stdout, "debug server : http://%s/debug/pprof (snapshot at /debug/vars)\n", ln.Addr())
+	}
+
 	switch {
-	case info:
+	case o.info:
 		si, err := pastri.Inspect(in)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("blocks        : %d\n", si.NumBlocks)
-		fmt.Printf("geometry      : %d sub-blocks x %d points\n",
+		fmt.Fprintf(o.stdout, "blocks        : %d\n", si.NumBlocks)
+		fmt.Fprintf(o.stdout, "geometry      : %d sub-blocks x %d points\n",
 			si.Options.NumSubBlocks, si.Options.SubBlockSize)
-		fmt.Printf("error bound   : %g\n", si.Options.ErrorBound)
-		fmt.Printf("metric        : %s\n", si.Options.Metric)
-		fmt.Printf("encoding      : %s\n", si.Options.Encoding)
-		fmt.Printf("raw size      : %d bytes\n", si.RawBytes)
-		fmt.Printf("compressed    : %d bytes (ratio %.2f)\n", len(in),
+		fmt.Fprintf(o.stdout, "error bound   : %g\n", si.Options.ErrorBound)
+		fmt.Fprintf(o.stdout, "metric        : %s\n", si.Options.Metric)
+		fmt.Fprintf(o.stdout, "encoding      : %s\n", si.Options.Encoding)
+		fmt.Fprintf(o.stdout, "raw size      : %d bytes\n", si.RawBytes)
+		fmt.Fprintf(o.stdout, "compressed    : %d bytes (ratio %.2f)\n", len(in),
 			float64(si.RawBytes)/float64(len(in)))
 		return nil
 
-	case compress:
-		if outPath == "" {
+	case o.compress:
+		if o.outPath == "" {
 			return fmt.Errorf("-out is required")
 		}
 		if len(in)%8 != 0 {
@@ -91,29 +158,30 @@ func run(compress, decompress, info bool, numSB, sbSize int, eb float64,
 		for i := range data {
 			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(in[i*8:]))
 		}
-		opts := pastri.NewOptions(numSB, sbSize, eb)
-		opts.Workers = workers
+		opts := pastri.NewOptions(o.numSB, o.sbSize, o.eb)
+		opts.Workers = o.workers
+		opts.Collector = col
 		var ok bool
-		if opts.Metric, ok = metricByName(metric); !ok {
-			return fmt.Errorf("unknown metric %q", metric)
+		if opts.Metric, ok = metricByName(o.metric); !ok {
+			return fmt.Errorf("unknown metric %q", o.metric)
 		}
 		comp, stats, err := pastri.CompressWithStats(data, opts)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(outPath, comp, 0o644); err != nil {
+		if err := os.WriteFile(o.outPath, comp, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("%d blocks, %d -> %d bytes (ratio %.2f); types %v\n",
+		fmt.Fprintf(o.stdout, "%d blocks, %d -> %d bytes (ratio %.2f); types %v\n",
 			stats.Blocks, len(in), len(comp), float64(len(in))/float64(len(comp)),
 			stats.TypeCount)
-		return nil
+		return emitTelemetry(o, col)
 
 	default: // decompress
-		if outPath == "" {
+		if o.outPath == "" {
 			return fmt.Errorf("-out is required")
 		}
-		data, err := pastri.DecompressWorkers(in, workers)
+		data, err := pastri.DecompressCollect(in, o.workers, col)
 		if err != nil {
 			return err
 		}
@@ -121,12 +189,135 @@ func run(compress, decompress, info bool, numSB, sbSize int, eb float64,
 		for i, v := range data {
 			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
 		}
-		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		if err := os.WriteFile(o.outPath, out, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("%d -> %d bytes\n", len(in), len(out))
+		fmt.Fprintf(o.stdout, "%d -> %d bytes\n", len(in), len(out))
+		return emitTelemetry(o, col)
+	}
+}
+
+// emitTelemetry renders the collector per the -stats/-statsjson/-trace
+// flags after a compression or decompression run.
+func emitTelemetry(o cliOpts, col *pastri.Collector) error {
+	if col == nil {
 		return nil
 	}
+	snap := col.Snapshot()
+	if o.stats {
+		printStats(o.stdout, snap)
+	}
+	if o.trace {
+		printTrace(o.stdout, snap)
+	}
+	if o.statsJSON != "" {
+		js := append(snap.JSON(), '\n')
+		if o.statsJSON == "-" {
+			if _, err := o.stdout.Write(js); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(o.statsJSON, js, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStats renders the human-readable telemetry summary: byte
+// accounting, per-encoding block mix, and the per-stage timer table.
+func printStats(w io.Writer, snap *pastri.CollectorSnapshot) {
+	fmt.Fprintf(w, "-- telemetry --\n")
+	if snap.Blocks > 0 {
+		fmt.Fprintf(w, "blocks        : %d\n", snap.Blocks)
+		fmt.Fprintf(w, "bytes in      : %d\n", snap.BytesIn)
+		fmt.Fprintf(w, "bytes out     : %d (payload %d + framing %d)\n",
+			snap.BytesOutTotal, snap.BytesOutPayload, snap.BytesOutFraming)
+		var encs []string
+		for name := range snap.Encodings {
+			encs = append(encs, name)
+		}
+		sort.Strings(encs)
+		fmt.Fprintf(w, "encodings     :")
+		for _, name := range encs {
+			fmt.Fprintf(w, " %s=%d", name, snap.Encodings[name])
+		}
+		fmt.Fprintln(w)
+	}
+	if snap.BlocksDecoded > 0 {
+		fmt.Fprintf(w, "decoded       : %d blocks, %d -> %d bytes\n",
+			snap.BlocksDecoded, snap.DecodedBytesIn, snap.DecodedBytesOut)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tcount\ttotal\tavg\tmin\tmax")
+	var stages []string
+	for name := range snap.Stages {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		s := snap.Stages[name]
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", name, s.Count,
+			fmtNS(s.TotalNS), fmtNS(s.AvgNS), fmtNS(s.MinNS), fmtNS(s.MaxNS))
+	}
+	tw.Flush() //lint:errdrop-ok tabwriter over an in-memory/stdout sink; a failed flush has nowhere better to go
+}
+
+// printTrace renders the trace ring, oldest first.
+func printTrace(w io.Writer, snap *pastri.CollectorSnapshot) {
+	fmt.Fprintf(w, "-- trace (last %d blocks, completion order) --\n", len(snap.Traces))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "block\tsub-blocks\texp-span\tencoding\tin\tout\teb-slack")
+	for _, tr := range snap.Traces {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\t%d\t%.3e\n",
+			tr.Block, tr.SubBlocks, tr.ExpSpan, tr.Encoding, tr.BytesIn, tr.BytesOut, tr.EBSlack)
+	}
+	tw.Flush() //lint:errdrop-ok tabwriter over an in-memory/stdout sink; a failed flush has nowhere better to go
+}
+
+// fmtNS renders nanoseconds with an adaptive unit.
+func fmtNS(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// The expvar registry is process-global and write-once per name, but
+// tests (and hypothetically a long-lived caller) run several
+// compressions; publish a single "pastri" Func that follows the
+// current collector pointer instead of publishing per run.
+var (
+	activeCollector atomic.Pointer[pastri.Collector]
+	publishOnce     sync.Once
+)
+
+// startDebugServer serves DefaultServeMux — which net/http/pprof and
+// expvar populate with /debug/pprof and /debug/vars — on addr, and
+// exposes col as the "pastri" expvar. The returned listener reports
+// the bound address (useful with ":0") and stops the server when
+// closed.
+func startDebugServer(addr string, col *pastri.Collector) (net.Listener, error) {
+	activeCollector.Store(col)
+	publishOnce.Do(func() {
+		expvar.Publish("pastri", expvar.Func(func() any {
+			return activeCollector.Load().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve returns when the listener closes at end of run; its
+		// error is uninteresting by then.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln, nil
 }
 
 func metricByName(name string) (pastri.Metric, bool) {

@@ -1,11 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	pastri "repro"
 )
 
 func writeRawFile(t *testing.T, path string, data []float64) {
@@ -19,25 +27,42 @@ func writeRawFile(t *testing.T, path string, data []float64) {
 	}
 }
 
+// testData builds a deterministic two-block (36,36) workload.
+func testData() []float64 {
+	data := make([]float64, 2*36*36)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.1) * 1e-7
+	}
+	return data
+}
+
+func compressOpts(raw, comp string, extra func(*cliOpts)) cliOpts {
+	o := cliOpts{
+		compress: true, numSB: 36, sbSize: 36, eb: 1e-10, metric: "ER",
+		inPath: raw, outPath: comp, workers: 1, stdout: io.Discard,
+	}
+	if extra != nil {
+		extra(&o)
+	}
+	return o
+}
+
 func TestCompressDecompressRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	raw := filepath.Join(dir, "in.f64")
 	comp := filepath.Join(dir, "out.pstr")
 	back := filepath.Join(dir, "back.f64")
 
-	data := make([]float64, 2*36*36)
-	for i := range data {
-		data[i] = math.Sin(float64(i)*0.1) * 1e-7
-	}
+	data := testData()
 	writeRawFile(t, raw, data)
 
-	if err := run(true, false, false, 36, 36, 1e-10, "ER", raw, comp, 1); err != nil {
+	if err := run(compressOpts(raw, comp, nil)); err != nil {
 		t.Fatalf("compress: %v", err)
 	}
-	if err := run(false, false, true, 0, 0, 0, "", comp, "", 0); err != nil {
+	if err := run(cliOpts{info: true, inPath: comp, stdout: io.Discard}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
-	if err := run(false, true, false, 0, 0, 0, "", comp, back, 1); err != nil {
+	if err := run(cliOpts{decompress: true, inPath: comp, outPath: back, workers: 1, stdout: io.Discard}); err != nil {
 		t.Fatalf("decompress: %v", err)
 	}
 	got, err := os.ReadFile(back)
@@ -63,37 +88,226 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatsJSONSnapshot compresses with -statsjson and checks the
+// acceptance properties: per-stage timings present, per-encoding block
+// counts that sum to the block count, and bytes out that sum exactly
+// to the produced file size.
+func TestStatsJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "out.pstr")
+	statsPath := filepath.Join(dir, "stats.json")
+	writeRawFile(t, raw, testData())
+
+	var human bytes.Buffer
+	o := compressOpts(raw, comp, func(o *cliOpts) {
+		o.stats = true
+		o.trace = true
+		o.statsJSON = statsPath
+		o.stdout = &human
+	})
+	if err := run(o); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	js, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap pastri.CollectorSnapshot
+	if err := json.Unmarshal(js, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v\n%s", err, js)
+	}
+	if snap.Blocks != 2 {
+		t.Fatalf("blocks = %d, want 2", snap.Blocks)
+	}
+	fi, err := os.Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.BytesOutTotal != uint64(fi.Size()) {
+		t.Fatalf("bytes_out_total = %d, file is %d bytes", snap.BytesOutTotal, fi.Size())
+	}
+	if snap.BytesIn != uint64(2*36*36*8) {
+		t.Fatalf("bytes_in = %d", snap.BytesIn)
+	}
+	var encSum uint64
+	for _, n := range snap.Encodings {
+		encSum += n
+	}
+	if encSum != snap.Blocks {
+		t.Fatalf("encoding counts sum to %d, want %d", encSum, snap.Blocks)
+	}
+	for _, stage := range []string{"pattern_fit", "quantize", "encode", "write"} {
+		s, ok := snap.Stages[stage]
+		if !ok || s.Count == 0 {
+			t.Errorf("stage %q missing from snapshot (stages: %v)", stage, snap.Stages)
+		}
+	}
+	if len(snap.Traces) != 2 {
+		t.Fatalf("traces = %d records, want 2", len(snap.Traces))
+	}
+	for _, tr := range snap.Traces {
+		if tr.SubBlocks != 36 || tr.BytesIn != 36*36*8 || tr.BytesOut <= 0 {
+			t.Errorf("implausible trace record %+v", tr)
+		}
+		if tr.EBSlack < 0 || tr.EBSlack > 1e-10 {
+			t.Errorf("eb_slack %g outside [0, EB]", tr.EBSlack)
+		}
+	}
+
+	// The human-readable -stats/-trace output rendered too.
+	for _, want := range []string{"-- telemetry --", "encodings", "stage", "-- trace"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("-stats output missing %q:\n%s", want, human.String())
+		}
+	}
+}
+
+// TestStatsJSONDecompress checks the decode-side counters.
+func TestStatsJSONDecompress(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "out.pstr")
+	back := filepath.Join(dir, "back.f64")
+	writeRawFile(t, raw, testData())
+	if err := run(compressOpts(raw, comp, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	o := cliOpts{decompress: true, inPath: comp, outPath: back, workers: 2,
+		statsJSON: "-", stdout: &out}
+	if err := run(o); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	// stdout carries the summary line then the JSON document.
+	txt := out.String()
+	idx := strings.Index(txt, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", txt)
+	}
+	var snap pastri.CollectorSnapshot
+	if err := json.Unmarshal([]byte(txt[idx:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.BlocksDecoded != 2 {
+		t.Fatalf("blocks_decoded = %d, want 2", snap.BlocksDecoded)
+	}
+	if snap.DecodedBytesOut != uint64(2*36*36*8) {
+		t.Fatalf("decoded_bytes_out = %d", snap.DecodedBytesOut)
+	}
+	if s := snap.Stages["decode"]; s.Count != 2 {
+		t.Fatalf("decode stage count = %d, want 2", s.Count)
+	}
+}
+
+// TestDebugServer starts the -pprof server on an ephemeral port and
+// fetches /debug/vars and /debug/pprof/ while the process runs.
+func TestDebugServer(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "out.pstr")
+	writeRawFile(t, raw, testData())
+
+	col := pastri.NewCollector()
+	ln, err := startDebugServer("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Compress with the same collector the server publishes.
+	o := compressOpts(raw, comp, func(o *cliOpts) { o.stats = true })
+	opts := pastri.NewOptions(o.numSB, o.sbSize, o.eb)
+	opts.Workers = 1
+	opts.Collector = col
+	data := testData()
+	if _, err := pastri.Compress(data, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	body := httpGet(t, base+"/debug/vars")
+	var vars struct {
+		Pastri pastri.CollectorSnapshot `json:"pastri"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if vars.Pastri.Blocks != 2 {
+		t.Fatalf("expvar snapshot blocks = %d, want 2", vars.Pastri.Blocks)
+	}
+	if got := httpGet(t, base+"/debug/pprof/"); !bytes.Contains(got, []byte("goroutine")) {
+		t.Fatalf("/debug/pprof/ index does not look like pprof:\n%.200s", got)
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
 func TestCLIValidation(t *testing.T) {
 	dir := t.TempDir()
 	raw := filepath.Join(dir, "in.f64")
 	writeRawFile(t, raw, make([]float64, 36*36))
 
+	base := func() cliOpts {
+		return cliOpts{numSB: 36, sbSize: 36, eb: 1e-10, metric: "ER",
+			inPath: raw, stdout: io.Discard}
+	}
 	cases := []struct {
 		name string
 		err  bool
-		f    func() error
+		o    func() cliOpts
 	}{
-		{"no mode", true, func() error {
-			return run(false, false, false, 36, 36, 1e-10, "ER", raw, "", 0)
+		{"no mode", true, func() cliOpts { return base() }},
+		{"two modes", true, func() cliOpts {
+			o := base()
+			o.compress, o.decompress, o.outPath = true, true, "x"
+			return o
 		}},
-		{"two modes", true, func() error {
-			return run(true, true, false, 36, 36, 1e-10, "ER", raw, "x", 0)
+		{"no input", true, func() cliOpts {
+			o := base()
+			o.compress, o.inPath, o.outPath = true, "", "x"
+			return o
 		}},
-		{"no input", true, func() error {
-			return run(true, false, false, 36, 36, 1e-10, "ER", "", "x", 0)
+		{"missing input", true, func() cliOpts {
+			o := base()
+			o.compress, o.inPath, o.outPath = true, filepath.Join(dir, "nope"), "x"
+			return o
 		}},
-		{"missing input", true, func() error {
-			return run(true, false, false, 36, 36, 1e-10, "ER", filepath.Join(dir, "nope"), "x", 0)
+		{"no output", true, func() cliOpts {
+			o := base()
+			o.compress = true
+			return o
 		}},
-		{"no output", true, func() error {
-			return run(true, false, false, 36, 36, 1e-10, "ER", raw, "", 0)
+		{"bad metric", true, func() cliOpts {
+			o := base()
+			o.compress, o.metric, o.outPath = true, "XX", filepath.Join(dir, "o")
+			return o
 		}},
-		{"bad metric", true, func() error {
-			return run(true, false, false, 36, 36, 1e-10, "XX", raw, filepath.Join(dir, "o"), 0)
+		{"bad pprof addr", true, func() cliOpts {
+			o := base()
+			o.compress, o.outPath, o.pprofAddr = true, filepath.Join(dir, "o2"), "256.0.0.1:bogus"
+			return o
 		}},
 	}
 	for _, c := range cases {
-		if err := c.f(); (err != nil) != c.err {
+		if err := run(c.o()); (err != nil) != c.err {
 			t.Errorf("%s: err = %v, want error=%v", c.name, err, c.err)
 		}
 	}

@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		NoPanic,
 		GoroutineCapture,
+		TelemetryDrop,
 	}
 }
 

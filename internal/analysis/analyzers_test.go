@@ -28,6 +28,10 @@ func TestGoroutineCapture(t *testing.T) {
 	runFixture(t, GoroutineCapture, "goroutinecapture", fixtureModPath+"/internal/fixtures")
 }
 
+func TestTelemetryDrop(t *testing.T) {
+	runFixture(t, TelemetryDrop, "telemetrydrop", fixtureModPath+"/internal/fixtures")
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"floatcmp", "nopanic"})
 	if err != nil || len(as) != 2 || as[0] != FloatCmp || as[1] != NoPanic {

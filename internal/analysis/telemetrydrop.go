@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryDrop flags misuse of the telemetry Collector's scope timers.
+// Collector.Timer(stage) hands back a Timer whose Stop records the
+// interval; the contract (internal/telemetry) is that Stop runs via
+// defer so every exit path — early returns, error paths, panics — is
+// measured. A timer whose Stop is skipped or called on only the happy
+// path silently under-reports a stage, and the resulting snapshot lies
+// in exactly the situations (failures, aborts) where timing data is
+// most wanted.
+//
+// Flagged shapes, matched structurally by name so fixtures and future
+// collector types are covered without importing the telemetry package:
+// a method named Timer on a type named Collector returning a type
+// named Timer that has a Stop method.
+//
+//   - the Timer result dropped outright (bare call, or assigned to _);
+//   - chained c.Timer(s).Stop() as a plain statement instead of defer;
+//   - t := c.Timer(s) where the enclosing function never defers
+//     t.Stop() (plain t.Stop() calls do not count: they miss early
+//     exits).
+//
+// A timer that escapes — passed to another function, returned, stored
+// in a struct — is not flagged; ownership moved with it.
+var TelemetryDrop = &Analyzer{
+	Name: "telemetrydrop",
+	Doc:  "flag Collector stage timers whose Stop is not deferred",
+	Run:  runTelemetryDrop,
+}
+
+func runTelemetryDrop(p *Pass) {
+	for _, f := range p.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.isCollectorTimerCall(call) {
+					p.Reportf(call.Pos(),
+						"telemetry timer is dropped; its Stop never runs, so the stage interval is lost")
+					return true
+				}
+				if p.isTimerStopChain(call) {
+					p.Reportf(call.Pos(),
+						"timer Stop is not deferred; use `defer ...Timer(...).Stop()` so the interval is recorded on every exit path")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !p.isCollectorTimerCall(call) {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // stored into a field/element: escapes
+					}
+					if id.Name == "_" {
+						p.Reportf(call.Pos(),
+							"telemetry timer is discarded with _; its Stop never runs, so the stage interval is lost")
+						continue
+					}
+					v := p.definedOrUsedVar(id)
+					body := enclosingFuncBody(stack)
+					if v == nil || body == nil {
+						continue
+					}
+					if p.timerStopDeferred(body, v) || p.timerEscapes(body, v) {
+						continue
+					}
+					p.Reportf(id.Pos(),
+						"timer %q is never stopped via defer; plain Stop calls miss early exits — defer %s.Stop() or annotate //lint:telemetrydrop-ok",
+						v.Name(), v.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCollectorTimerCall reports whether call invokes a method Timer on a
+// type named Collector returning a single value of a type named Timer
+// that has a Stop method.
+func (p *Pass) isCollectorTimerCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Timer" {
+		return false
+	}
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	if !namedTypeIs(sig.Recv().Type(), "Collector") {
+		return false
+	}
+	res := sig.Results().At(0).Type()
+	return namedTypeIs(res, "Timer") && hasStopMethod(res)
+}
+
+// isTimerStopChain reports whether call is `<timer call>.Stop()`.
+func (p *Pass) isTimerStopChain(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stop" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	return ok && p.isCollectorTimerCall(inner)
+}
+
+// timerStopDeferred reports whether body defers v.Stop(), either
+// directly or inside a deferred function literal.
+func (p *Pass) timerStopDeferred(body ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if p.isStopCallOn(d.Call, v) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && p.isStopCallOn(call, v) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// timerEscapes reports whether v is used for anything other than
+// defining assignments or v.Stop() calls — passed as an argument,
+// returned, reassigned elsewhere, etc. Escaped timers are someone
+// else's responsibility.
+func (p *Pass) timerEscapes(body ast.Node, v *types.Var) bool {
+	escaped := false
+	walkStack(body, func(stack []ast.Node, n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[id] != types.Object(v) {
+			return true
+		}
+		if len(stack) == 0 {
+			escaped = true
+			return false
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			// v.Stop() receiver position is fine; any other selector
+			// (v.c, v passed via method value) escapes.
+			if parent.X == ast.Expr(id) && parent.Sel.Name == "Stop" {
+				return true
+			}
+		case *ast.AssignStmt:
+			// Re-binding the same variable to a fresh timer is a define
+			// site, not an escape.
+			for _, lhs := range parent.Lhs {
+				if lhs == ast.Expr(id) {
+					return true
+				}
+			}
+		}
+		escaped = true
+		return false
+	})
+	return escaped
+}
+
+// isStopCallOn reports whether call is `v.Stop()`.
+func (p *Pass) isStopCallOn(call *ast.CallExpr, v *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stop" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && p.TypesInfo.Uses[id] == types.Object(v)
+}
+
+// definedOrUsedVar resolves id whether it is a := definition or an
+// assignment to an existing variable.
+func (p *Pass) definedOrUsedVar(id *ast.Ident) *types.Var {
+	if v, ok := p.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing
+// function declaration or literal on the ancestor stack.
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// namedTypeIs reports whether t (possibly behind a pointer) is a
+// defined type with the given name.
+func namedTypeIs(t types.Type, name string) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// hasStopMethod reports whether t has a niladic method named Stop.
+func hasStopMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Stop")
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	return sig.Params().Len() == 0
+}

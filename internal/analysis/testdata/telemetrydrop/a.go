@@ -1,0 +1,122 @@
+package fixtures
+
+import "time"
+
+// Local stand-ins with the shape the analyzer matches structurally: a
+// Collector with a Timer method returning a Timer that has Stop.
+
+type Stage int
+
+type Collector struct{ total time.Duration }
+
+type Timer struct {
+	c     *Collector
+	start time.Time
+}
+
+func (c *Collector) Timer(s Stage) Timer {
+	if c == nil {
+		return Timer{}
+	}
+	return Timer{c: c, start: time.Now()}
+}
+
+func (t Timer) Stop() {
+	if t.c != nil {
+		t.c.total += time.Since(t.start)
+	}
+}
+
+// True positives.
+
+func dropped(c *Collector) {
+	c.Timer(0) // want "telemetry timer is dropped"
+}
+
+func discarded(c *Collector) {
+	_ = c.Timer(0) // want "telemetry timer is discarded with _"
+}
+
+func plainChain(c *Collector) {
+	c.Timer(0).Stop() // want "timer Stop is not deferred"
+}
+
+func plainStopOnly(c *Collector) {
+	t := c.Timer(0) // want "timer \"t\" is never stopped via defer"
+	work()
+	t.Stop()
+}
+
+func conditionalStop(c *Collector, ok bool) {
+	t := c.Timer(0) // want "timer \"t\" is never stopped via defer"
+	work()
+	if ok {
+		t.Stop()
+	}
+}
+
+// Clean: deferred Stop, directly or chained.
+
+func deferredChain(c *Collector) {
+	defer c.Timer(0).Stop()
+	work()
+}
+
+func deferredVar(c *Collector) {
+	t := c.Timer(0)
+	defer t.Stop()
+	work()
+}
+
+func deferredInLiteral(c *Collector) {
+	t := c.Timer(0)
+	defer func() {
+		t.Stop()
+	}()
+	work()
+}
+
+// Clean: the timer escapes — stopping it is the callee's job.
+
+func escapesAsArg(c *Collector) {
+	t := c.Timer(0)
+	stopLater(t)
+}
+
+func escapesAsReturn(c *Collector) Timer {
+	return c.Timer(0)
+}
+
+// Clean: rebinding the variable to a fresh timer, with a deferred
+// closure stopping whichever timer is current at exit (the restart
+// pattern a loop uses to time successive intervals).
+
+func rebound(c *Collector) {
+	t := c.Timer(0)
+	defer func() { t.Stop() }()
+	t.Stop()
+	t = c.Timer(1)
+	work()
+}
+
+// Clean: suppressed finding.
+
+func suppressed(c *Collector) {
+	t := c.Timer(0) //lint:telemetrydrop-ok single-exit helper, Stop below is unconditional
+	work()
+	t.Stop()
+}
+
+// Clean: similarly named methods on unrelated types do not match.
+
+type Clock struct{}
+
+func (Clock) Timer(s Stage) int { return int(s) }
+
+func unrelated(k Clock) {
+	k.Timer(0)
+}
+
+func stopLater(t Timer) { t.Stop() }
+
+func work() {}

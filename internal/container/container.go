@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 var magic = [4]byte{'P', 'S', 'T', 'C'}
@@ -67,7 +68,8 @@ func NewWriter(base core.Config) (*Writer, error) {
 	}, nil
 }
 
-// WriteBlock appends one block of the given geometry.
+// WriteBlock appends one block of the given geometry. The
+// geometry-grouping work is accounted as block-split time.
 func (w *Writer) WriteBlock(g Geometry, block []float64) error {
 	if g.NumSB <= 0 || g.SBSize <= 0 {
 		return fmt.Errorf("container: invalid geometry %d×%d", g.NumSB, g.SBSize)
@@ -75,6 +77,7 @@ func (w *Writer) WriteBlock(g Geometry, block []float64) error {
 	if len(block) != g.BlockSize() {
 		return fmt.Errorf("container: block has %d values, geometry wants %d", len(block), g.BlockSize())
 	}
+	tSplit := w.cfgBase.Collector.StageStart()
 	idx, ok := w.sections[g]
 	if !ok {
 		idx = len(w.geos)
@@ -84,6 +87,7 @@ func (w *Writer) WriteBlock(g Geometry, block []float64) error {
 	}
 	w.raw[idx] = append(w.raw[idx], block...)
 	w.order = append(w.order, uint32(idx))
+	w.cfgBase.Collector.StageEnd(telemetry.StageBlockSplit, tSplit)
 	return nil
 }
 
@@ -102,6 +106,8 @@ func (w *Writer) Bytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	col := w.cfgBase.Collector
+	defer col.Timer(telemetry.StageWrite).Stop()
 	var out []byte
 	out = append(out, magic[:]...)
 	out = append(out, version)
@@ -116,11 +122,17 @@ func (w *Writer) Bytes() ([]byte, error) {
 		n := binary.PutUvarint(vb[:], uint64(s))
 		out = append(out, vb[:n]...)
 	}
+	streamBytes := 0
 	for _, stream := range streams {
 		n := binary.PutUvarint(vb[:], uint64(len(stream)))
 		out = append(out, vb[:n]...)
 		out = append(out, stream...)
+		streamBytes += len(stream)
 	}
+	// Section streams already accounted their own header/varint framing
+	// via core.Compress; the container adds its magic, counts,
+	// directory and section-length varints on top.
+	col.AddFramingBytes(len(out) - streamBytes)
 	return out, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/pattern"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 )
 
 // Block bitstream layout (all fields bit-packed, MSB first):
@@ -34,6 +35,7 @@ const (
 // worker.
 type BlockEncoder struct {
 	cfg Config
+	col *telemetry.Collector // from cfg; nil ⇒ no telemetry
 	// scratch
 	pq    []int64
 	sq    []int64
@@ -49,6 +51,7 @@ func NewBlockEncoder(cfg Config) (*BlockEncoder, error) {
 	}
 	return &BlockEncoder{
 		cfg: cfg,
+		col: cfg.Collector,
 		pq:  make([]int64, cfg.SBSize),
 		sq:  make([]int64, cfg.NumSB),
 		ecq: make([]int64, cfg.BlockSize()),
@@ -67,10 +70,13 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 		return 0, 0, fmt.Errorf("core: block has %d points, config wants %d", len(block), cfg.BlockSize())
 	}
 	// 1. Pattern analysis (Sec. IV-A).
+	tFit := e.col.StageStart()
 	res, err := pattern.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
+	e.col.StageEnd(telemetry.StagePatternFit, tFit)
 	if err != nil {
 		return 0, 0, err
 	}
+	tQuant := e.col.StageStart()
 	pat := block[res.PatternIndex*cfg.SBSize : (res.PatternIndex+1)*cfg.SBSize]
 
 	// 2. Quantize the pattern with Pbinsize = 2·EB (Sec. IV-B practical
@@ -115,6 +121,7 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 			}
 		}
 	}
+	e.col.StageEnd(telemetry.StageQuantize, tQuant)
 	if ecbMax > 63 {
 		return 0, 0, fmt.Errorf("core: ECQ needs %d bits; data range too wide for EB %g", ecbMax, eb)
 	}
@@ -142,6 +149,7 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 	if err != nil {
 		return err
 	}
+	tEnc := e.col.StageStart()
 
 	// 4. Emit header fields.
 	w.WriteBits(uint64(pb-1), pbFieldBits)
@@ -175,6 +183,8 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 		}
 	}
 
+	e.col.StageEnd(telemetry.StageEncode, tEnc)
+
 	if e.stats != nil {
 		e.stats.recordBlock(e.ecq, ecbMax,
 			sqStart-startBits-uint64(pbFieldBits+ecbMaxFieldBits), // PQ bits
@@ -182,13 +192,71 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 			w.BitLen()-ecqStart, // ECQ bits
 			uint64(pbFieldBits+ecbMaxFieldBits), usedSparse)
 	}
+	if e.col.Enabled() {
+		kind := telemetry.EncType0
+		if ecbMax > 1 {
+			if usedSparse {
+				kind = telemetry.EncSparse
+			} else {
+				kind = telemetry.EncDense
+			}
+		}
+		e.recordTrace(block, pb, w.BitLen()-startBits, kind)
+	}
 	return nil
+}
+
+// recordTrace computes the per-block trace record — exponent span,
+// chosen encoding, bytes in/out and error-bound slack — and hands it
+// to the collector. Only called when a collector is attached; the
+// slack recomputation reuses the scratch buffers analyze just filled
+// (pq via pHat, sq, ecq), so it costs one extra pass over the block.
+func (e *BlockEncoder) recordTrace(block []float64, pb uint, payloadBits uint64, kind telemetry.BlockEncoding) {
+	cfg := e.cfg
+	minExp, maxExp, seen := 0, 0, false
+	for _, v := range block {
+		if v == 0 { //lint:floatcmp-ok exact zero test selects values that have a binary exponent
+			continue
+		}
+		_, exp := math.Frexp(v)
+		if !seen {
+			minExp, maxExp, seen = exp, exp, true
+		} else if exp < minExp {
+			minExp = exp
+		} else if exp > maxExp {
+			maxExp = exp
+		}
+	}
+	eb := cfg.ErrorBound
+	sBin := quant.ScaleBinSize(pb) // S_b = P_b
+	ecBin := 2 * eb
+	pHat := e.pHat[:cfg.SBSize]
+	maxRes := 0.0
+	for s := 0; s < cfg.NumSB; s++ {
+		sHat := quant.Dequantize(e.sq[s], sBin)
+		base := s * cfg.SBSize
+		for i := 0; i < cfg.SBSize; i++ {
+			rec := sHat*pHat[i] + quant.Dequantize(e.ecq[base+i], ecBin)
+			if r := math.Abs(block[base+i] - rec); r > maxRes {
+				maxRes = r
+			}
+		}
+	}
+	e.col.RecordBlock(telemetry.TraceRecord{
+		SubBlocks: cfg.NumSB,
+		ExpSpan:   maxExp - minExp,
+		Encoding:  kind,
+		BytesIn:   len(block) * 8,
+		BytesOut:  int((payloadBits + 7) / 8),
+		EBSlack:   eb - maxRes,
+	})
 }
 
 // BlockDecoder decompresses blocks, reusing scratch buffers. Not safe for
 // concurrent use.
 type BlockDecoder struct {
 	cfg  Config
+	col  *telemetry.Collector // from cfg; nil ⇒ no telemetry
 	pq   []int64
 	sq   []int64
 	ecq  []int64
@@ -202,6 +270,7 @@ func NewBlockDecoder(cfg Config) (*BlockDecoder, error) {
 	}
 	return &BlockDecoder{
 		cfg: cfg,
+		col: cfg.Collector,
 		pq:  make([]int64, cfg.SBSize),
 		sq:  make([]int64, cfg.NumSB),
 		ecq: make([]int64, cfg.BlockSize()),
@@ -215,6 +284,8 @@ func (d *BlockDecoder) DecodeBlock(r *bitio.Reader, dst []float64) error {
 	if len(dst) != cfg.BlockSize() {
 		return fmt.Errorf("core: dst has %d points, config wants %d", len(dst), cfg.BlockSize())
 	}
+	tDec := d.col.StageStart()
+	defer d.col.StageEnd(telemetry.StageDecode, tDec)
 	pbRaw, err := r.ReadBits(pbFieldBits)
 	if err != nil {
 		return err

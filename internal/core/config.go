@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/encoding"
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Config controls compression. The zero value is not valid; use Defaults
@@ -47,6 +48,12 @@ type Config struct {
 	// Workers caps parallelism for stream compression; 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Collector, when non-nil, receives per-stage timings, byte
+	// accounting and per-block trace records (internal/telemetry). It
+	// is runtime-only state — never serialized into streams — and may
+	// be shared across workers and sections. The nil default makes
+	// every instrumentation point a single untaken branch.
+	Collector *telemetry.Collector
 }
 
 // Defaults returns the paper's shipped configuration for a block geometry

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bitio"
+	"repro/internal/telemetry"
 )
 
 // Parallel block-compression engine. PaSTRI blocks are self-contained
@@ -70,11 +71,13 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 		mu       sync.Mutex
 		firstErr error
 	)
+	tSplit := cfg.Collector.StageStart()
 	next := make(chan int, nblocks)
 	for b := 0; b < nblocks; b++ {
 		next <- b
 	}
 	close(next)
+	cfg.Collector.StageEnd(telemetry.StageBlockSplit, tSplit)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
@@ -194,6 +197,7 @@ func NewParallelStreamWriter(w io.Writer, cfg Config, workers int) (*ParallelStr
 	if _, err := bw.Write(hdr); err != nil {
 		return nil, err
 	}
+	cfg.Collector.AddFramingBytes(len(hdr))
 	return &ParallelStreamWriter{
 		w:       bw,
 		cfg:     cfg,
@@ -267,13 +271,19 @@ var errAborted = fmt.Errorf("core: block skipped after earlier error")
 // sequencer writes payloads in submission order, buffering results that
 // arrive early. On the first in-order error it stops writing and
 // records the error; remaining results are drained and discarded.
+// Receive gaps are recorded as sequencer-wait time and the varint+
+// payload writes as write time, so a snapshot distinguishes "workers
+// can't keep the sequencer fed" from "the sink is slow".
 func (s *ParallelStreamWriter) sequencer() {
 	defer close(s.seqDone)
+	col := s.cfg.Collector
 	pending := make(map[uint64]pswResult)
 	var nextSeq uint64
 	var lenBuf [binary.MaxVarintLen64]byte
 	dead := false
+	tWait := col.StageStart()
 	for res := range s.results {
+		col.StageEnd(telemetry.StageSequencerWait, tWait)
 		pending[res.seq] = res
 		for {
 			r, ok := pending[nextSeq]
@@ -290,6 +300,7 @@ func (s *ParallelStreamWriter) sequencer() {
 				dead = true
 				continue
 			}
+			tWrite := col.StageStart()
 			n := binary.PutUvarint(lenBuf[:], uint64(len(r.payload)))
 			if _, err := s.w.Write(lenBuf[:n]); err != nil {
 				s.fail(err)
@@ -301,8 +312,11 @@ func (s *ParallelStreamWriter) sequencer() {
 				dead = true
 				continue
 			}
+			col.StageEnd(telemetry.StageWrite, tWrite)
+			col.AddFramingBytes(n)
 			s.written.Add(1)
 		}
+		tWait = col.StageStart()
 	}
 }
 
@@ -341,6 +355,8 @@ func (s *ParallelStreamWriter) WriteBlock(block []float64) error {
 	if !s.started {
 		s.start()
 	}
+	col := s.cfg.Collector
+	tSplit := col.StageStart()
 	var buf []float64
 	if p, ok := s.blockPool.Get().(*[]float64); ok && cap(*p) >= len(block) {
 		buf = (*p)[:len(block)]
@@ -350,6 +366,7 @@ func (s *ParallelStreamWriter) WriteBlock(block []float64) error {
 	copy(buf, block)
 	s.jobs <- pswJob{seq: s.submitted, data: buf}
 	s.submitted++
+	col.StageEnd(telemetry.StageBlockSplit, tSplit)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/encoding"
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Stream format
@@ -52,22 +53,33 @@ func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	nblocks := len(payloads)
+	return assembleStream(payloads, cfg), nil
+}
 
-	// Assemble the stream.
+// assembleStream concatenates header, varint framing and block
+// payloads. Framing bytes (everything that is not block payload) are
+// reported to the collector so payload + framing equals the stream
+// size exactly.
+func assembleStream(payloads [][]byte, cfg Config) []byte {
+	col := cfg.Collector
+	defer col.Timer(telemetry.StageWrite).Stop()
+	framing := headerSize
 	total := headerSize
 	var lenBuf [binary.MaxVarintLen64]byte
 	for _, p := range payloads {
-		total += binary.PutUvarint(lenBuf[:], uint64(len(p))) + len(p)
+		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		framing += n
+		total += n + len(p)
 	}
 	out := make([]byte, 0, total)
-	out = appendHeader(out, cfg, uint64(nblocks))
+	out = appendHeader(out, cfg, uint64(len(payloads)))
 	for _, p := range payloads {
 		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
 		out = append(out, lenBuf[:n]...)
 		out = append(out, p...)
 	}
-	return out, nil
+	col.AddFramingBytes(framing)
+	return out
 }
 
 func appendHeader(dst []byte, cfg Config, nblocks uint64) []byte {
@@ -130,10 +142,18 @@ func parseHeaderBytes(comp []byte) (Config, uint64, int, error) {
 // Decompress reconstructs the original data from a compressed stream,
 // fanning blocks out over workers goroutines (0 ⇒ GOMAXPROCS).
 func Decompress(comp []byte, workers int) ([]float64, error) {
+	return DecompressCollect(comp, workers, nil)
+}
+
+// DecompressCollect is Decompress with a telemetry sink: per-block
+// decode timings and decoded block/byte counts are recorded into col
+// (nil ⇒ no telemetry, identical to Decompress).
+func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]float64, error) {
 	cfg, nblocks, off, err := ParseHeader(comp)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Collector = col
 	bs := cfg.BlockSize()
 	if nblocks != streamingCount && nblocks > uint64(math.MaxInt64)/uint64(bs) {
 		return nil, fmt.Errorf("core: implausible block count %d", nblocks)
@@ -163,6 +183,7 @@ func Decompress(comp []byte, workers int) ([]float64, error) {
 			if err := dec.DecodeBlock(r, out[b*bs:(b+1)*bs]); err != nil {
 				return nil, fmt.Errorf("core: block %d: %w", b, err)
 			}
+			col.RecordDecodedBlock(spans[b].hi-spans[b].lo, bs*8)
 		}
 		return out, nil
 	}
@@ -201,6 +222,7 @@ func Decompress(comp []byte, workers int) ([]float64, error) {
 					mu.Unlock()
 					return
 				}
+				col.RecordDecodedBlock(spans[b].hi-spans[b].lo, bs*8)
 			}
 		}()
 	}

@@ -1,0 +1,378 @@
+// Package telemetry is a dependency-free observability layer for the
+// PaSTRI compression pipeline: lock-free atomic counters, power-of-two
+// bucketed histograms, per-stage wall-clock timers, and a bounded
+// per-block trace ring buffer, aggregated by a Collector and exported
+// as JSON snapshots or an expvar variable.
+//
+// Everything is nil-safe: every Collector method begins with a nil
+// check and returns immediately, so a disabled pipeline pays only a
+// pointer test and an untaken branch per instrumentation point — no
+// clock reads, no allocations, no atomic traffic. Code under
+// instrumentation therefore threads a possibly-nil *Collector without
+// guarding call sites.
+//
+// All mutation paths are either atomic (counters, histograms, stage
+// accumulators) or mutex-protected with a copy-in critical section
+// (the trace ring), so any number of compression workers may record
+// into one Collector concurrently. Counters and histograms are exact,
+// not sampled: after a pipeline drains, their values are independent
+// of the worker count and schedule. A Snapshot taken while workers are
+// still recording is weakly consistent — each field is individually
+// coherent but fields may reflect slightly different instants.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one instrumented phase of the pipeline.
+type Stage uint8
+
+// The instrumented pipeline stages. Compression records the first six;
+// StageDecode is recorded by the decompression paths.
+const (
+	// StageBlockSplit covers carving the input into block jobs: the
+	// copy+submit of ParallelStreamWriter.WriteBlock, the job fan-out of
+	// the one-shot compressor, and geometry grouping in the container
+	// writer.
+	StageBlockSplit Stage = iota
+	// StagePatternFit is the pattern-scaling analysis (Sec. IV-A).
+	StagePatternFit
+	// StageQuantize is pattern/scale quantization plus the
+	// error-correction pass (Sec. IV-B).
+	StageQuantize
+	// StageEncode is the bit emission: header fields, PQ/SQ, and the
+	// prefix-tree (or sparse) ECQ encoding (Sec. IV-C).
+	StageEncode
+	// StageSequencerWait is time the in-order sequencer spends blocked
+	// waiting for the next result from the worker pool.
+	StageSequencerWait
+	// StageWrite is time spent writing framing and payloads to the
+	// underlying writer, and assembling one-shot streams.
+	StageWrite
+	// StageDecode is per-block decompression.
+	StageDecode
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"block_split",
+	"pattern_fit",
+	"quantize",
+	"encode",
+	"sequencer_wait",
+	"write",
+	"decode",
+}
+
+// String returns the snake_case stage name used in snapshots.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// A Counter is a lock-free monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// A Histogram counts observations in power-of-two buckets: bucket b
+// holds values v with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b).
+// Observation is lock-free and exact (no sampling).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [65]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// stageRec accumulates one stage's timings. min is stored as ns+1 so
+// the zero value means "no observations yet".
+type stageRec struct {
+	count atomic.Uint64
+	total atomic.Uint64 // nanoseconds
+	min   atomic.Uint64 // nanoseconds + 1; 0 = unset
+	max   atomic.Uint64 // nanoseconds
+	hist  Histogram     // nanoseconds, power-of-two buckets
+}
+
+func (r *stageRec) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	r.count.Add(1)
+	r.total.Add(ns)
+	r.hist.Observe(ns)
+	for {
+		cur := r.min.Load()
+		if cur != 0 && cur <= ns+1 {
+			break
+		}
+		if r.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := r.max.Load()
+		if cur >= ns {
+			break
+		}
+		if r.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// BlockEncoding names the ECQ representation a block ended up with.
+type BlockEncoding uint8
+
+// The three per-block outcomes: Type-0 blocks spend no ECQ bits at
+// all; other blocks choose dense tree coding or the sparse
+// (index,value) representation by exact cost (Sec. IV-C).
+const (
+	EncType0 BlockEncoding = iota
+	EncDense
+	EncSparse
+
+	numBlockEncodings
+)
+
+var encodingNames = [numBlockEncodings]string{"type0", "dense", "sparse"}
+
+// String returns the snapshot name of the encoding.
+func (e BlockEncoding) String() string {
+	if int(e) < len(encodingNames) {
+		return encodingNames[e]
+	}
+	return "enc?"
+}
+
+// MarshalText renders the encoding as its name in JSON snapshots.
+func (e BlockEncoding) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
+
+// UnmarshalText parses an encoding name, so snapshots round-trip
+// through JSON (e.g. when scraped back from /debug/vars).
+func (e *BlockEncoding) UnmarshalText(text []byte) error {
+	for i, name := range encodingNames {
+		if name == string(text) {
+			*e = BlockEncoding(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown block encoding %q", text)
+}
+
+// DefaultTraceDepth is the trace ring size used when New is given a
+// zero depth.
+const DefaultTraceDepth = 256
+
+// A Collector aggregates pipeline telemetry. The nil *Collector is a
+// valid, zero-cost no-op sink; construct a live one with New. One
+// Collector may be shared by any number of concurrent workers.
+type Collector struct {
+	stages       [numStages]stageRec
+	blocks       Counter // compressed blocks (trace ids draw from this)
+	bytesIn      Counter // raw bytes entering compressed blocks
+	bytesPayload Counter // compressed block payload bytes
+	bytesFraming Counter // stream/container framing bytes (headers, varints, directories)
+	enc          [numBlockEncodings]Counter
+	blockBytes   Histogram // compressed payload size per block
+
+	blocksDecoded   Counter
+	decodedBytesIn  Counter // compressed bytes consumed by decode
+	decodedBytesOut Counter // raw bytes produced by decode
+
+	ring traceRing
+}
+
+// New returns a live Collector whose trace ring holds traceDepth
+// records (0 ⇒ DefaultTraceDepth, negative ⇒ tracing disabled).
+func New(traceDepth int) *Collector {
+	c := &Collector{}
+	switch {
+	case traceDepth == 0:
+		traceDepth = DefaultTraceDepth
+	case traceDepth < 0:
+		traceDepth = 0
+	}
+	if traceDepth > 0 {
+		c.ring.recs = make([]TraceRecord, traceDepth)
+	}
+	return c
+}
+
+// Enabled reports whether the collector records anything; it is the
+// hook for instrumentation that must do extra work (e.g. computing a
+// trace record) only when someone is listening.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// StageStart returns a start token for StageEnd. On a nil collector it
+// returns the zero time without reading the clock.
+func (c *Collector) StageStart() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// StageEnd records the elapsed time since start against stage s. It is
+// a no-op on a nil collector or a zero start token, so
+// StageStart/StageEnd pairs need no call-site guards. Use this pair
+// (not Timer) when one function times several sequential stages.
+func (c *Collector) StageEnd(s Stage, start time.Time) {
+	if c == nil || start.IsZero() {
+		return
+	}
+	c.stages[s].observe(time.Since(start))
+}
+
+// A Timer records one stage interval when stopped. The zero Timer is a
+// no-op.
+type Timer struct {
+	c     *Collector
+	s     Stage
+	start time.Time
+}
+
+// Timer starts a timer for stage s. Stop the result with defer so the
+// interval is recorded on every exit path — the telemetrydrop lint
+// check enforces this.
+func (c *Collector) Timer(s Stage) Timer {
+	if c == nil {
+		return Timer{}
+	}
+	return Timer{c: c, s: s, start: time.Now()}
+}
+
+// Stop records the interval since the timer started.
+func (t Timer) Stop() {
+	if t.c == nil {
+		return
+	}
+	t.c.stages[t.s].observe(time.Since(t.start))
+}
+
+// RecordBlock accounts one compressed block: counters, the payload
+// size histogram, and a slot in the trace ring. The record's Block id
+// is assigned here, in completion order (the stream's block order is
+// the submission order, which may differ under parallel compression).
+func (c *Collector) RecordBlock(rec TraceRecord) {
+	if c == nil {
+		return
+	}
+	rec.Block = c.blocks.v.Add(1) - 1
+	c.bytesIn.Add(uint64(rec.BytesIn))
+	c.bytesPayload.Add(uint64(rec.BytesOut))
+	if int(rec.Encoding) < len(c.enc) {
+		c.enc[rec.Encoding].Add(1)
+	}
+	c.blockBytes.Observe(uint64(rec.BytesOut))
+	c.ring.push(rec)
+}
+
+// AddFramingBytes accounts stream or container framing (headers,
+// varint lengths, directories) so payload + framing bytes sum to the
+// produced output size exactly.
+func (c *Collector) AddFramingBytes(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.bytesFraming.Add(uint64(n))
+}
+
+// RecordDecodedBlock accounts one decompressed block.
+func (c *Collector) RecordDecodedBlock(compressedBytes, rawBytes int) {
+	if c == nil {
+		return
+	}
+	c.blocksDecoded.Add(1)
+	if compressedBytes > 0 {
+		c.decodedBytesIn.Add(uint64(compressedBytes))
+	}
+	if rawBytes > 0 {
+		c.decodedBytesOut.Add(uint64(rawBytes))
+	}
+}
+
+// TraceRecord is one block's entry in the trace ring buffer.
+type TraceRecord struct {
+	// Block is the collector-assigned id, in completion order.
+	Block uint64 `json:"block"`
+	// SubBlocks is the block's sub-block count (NumSB).
+	SubBlocks int `json:"sub_blocks"`
+	// ExpSpan is the spread of binary exponents across the block's
+	// nonzero values — a proxy for how hard the block is to pattern-fit.
+	ExpSpan int `json:"exp_span"`
+	// Encoding is the chosen ECQ representation.
+	Encoding BlockEncoding `json:"encoding"`
+	// BytesIn and BytesOut are the raw and compressed payload sizes.
+	BytesIn  int `json:"bytes_in"`
+	BytesOut int `json:"bytes_out"`
+	// EBSlack is the error bound minus the block's actual worst-case
+	// reconstruction error — how much of the user's bound the codec
+	// left on the table.
+	EBSlack float64 `json:"eb_slack"`
+}
+
+// traceRing is a bounded ring of the most recent block traces. Pushes
+// are mutex-serialized (the critical section is one struct copy);
+// a zero-length ring drops everything without taking the lock.
+type traceRing struct {
+	mu   sync.Mutex
+	recs []TraceRecord
+	next uint64
+}
+
+func (r *traceRing) push(rec TraceRecord) {
+	if len(r.recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.recs[r.next%uint64(len(r.recs))] = rec
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained records, oldest first.
+func (r *traceRing) snapshot() []TraceRecord {
+	if len(r.recs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	depth := uint64(len(r.recs))
+	count := n
+	if count > depth {
+		count = depth
+	}
+	out := make([]TraceRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.recs[i%depth])
+	}
+	return out
+}

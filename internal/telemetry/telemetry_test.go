@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	start := c.StageStart()
+	if !start.IsZero() {
+		t.Fatal("nil collector read the clock")
+	}
+	c.StageEnd(StageEncode, start)
+	c.StageEnd(StageEncode, time.Now()) // zero token not required
+	tm := c.Timer(StageWrite)
+	tm.Stop()
+	c.RecordBlock(TraceRecord{BytesIn: 8, BytesOut: 4})
+	c.AddFramingBytes(32)
+	c.RecordDecodedBlock(4, 8)
+	if snap := c.Snapshot(); snap != nil {
+		t.Fatalf("nil collector snapshot = %+v, want nil", snap)
+	}
+	c.Publish("nil-collector") // must not panic or register
+	if expvar.Get("nil-collector") != nil {
+		t.Fatal("nil collector published an expvar")
+	}
+}
+
+func TestCounterAndHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := h.Snapshot()
+	// Buckets: len=0 → {0}, len=1 → {1}, len=2 → {2,3}, len=3 → {4},
+	// len=10 → {1023}, len=11 → {1024}.
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1, 2047: 1}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want uppers %v", snap.Buckets, want)
+	}
+	for _, b := range snap.Buckets {
+		if want[b.Le] != b.N {
+			t.Errorf("bucket le=%d n=%d, want n=%d", b.Le, b.N, want[b.Le])
+		}
+	}
+}
+
+func TestStageTimerMinMax(t *testing.T) {
+	c := New(0)
+	for _, d := range []time.Duration{5 * time.Microsecond, time.Millisecond, 20 * time.Microsecond} {
+		c.stages[StageEncode].observe(d)
+	}
+	snap := c.Snapshot()
+	ss, ok := snap.Stages[StageEncode.String()]
+	if !ok {
+		t.Fatalf("no encode stage in %+v", snap.Stages)
+	}
+	if ss.Count != 3 {
+		t.Fatalf("count = %d, want 3", ss.Count)
+	}
+	if ss.MinNS != uint64(5*time.Microsecond) || ss.MaxNS != uint64(time.Millisecond) {
+		t.Fatalf("min/max = %d/%d", ss.MinNS, ss.MaxNS)
+	}
+	if ss.TotalNS != uint64(1025*time.Microsecond) || ss.AvgNS != ss.TotalNS/3 {
+		t.Fatalf("total/avg = %d/%d", ss.TotalNS, ss.AvgNS)
+	}
+	// Negative durations clamp to zero rather than corrupting counters.
+	c.stages[StageEncode].observe(-time.Second)
+	if got := c.Snapshot().Stages[StageEncode.String()]; got.MinNS != 0 || got.Count != 4 {
+		t.Fatalf("after negative observe: %+v", got)
+	}
+}
+
+func TestRecordBlockAndSnapshotTotals(t *testing.T) {
+	c := New(4)
+	kinds := []BlockEncoding{EncType0, EncDense, EncSparse, EncDense, EncDense}
+	for i, k := range kinds {
+		c.RecordBlock(TraceRecord{
+			SubBlocks: 4,
+			Encoding:  k,
+			BytesIn:   288,
+			BytesOut:  10 + i,
+		})
+	}
+	c.AddFramingBytes(32)
+	c.AddFramingBytes(5)
+	snap := c.Snapshot()
+	if snap.Blocks != 5 {
+		t.Fatalf("blocks = %d", snap.Blocks)
+	}
+	if snap.BytesIn != 5*288 {
+		t.Fatalf("bytes in = %d", snap.BytesIn)
+	}
+	wantPayload := uint64(10 + 11 + 12 + 13 + 14)
+	if snap.BytesOutPayload != wantPayload || snap.BytesOutFraming != 37 ||
+		snap.BytesOutTotal != wantPayload+37 {
+		t.Fatalf("bytes out = %d+%d=%d", snap.BytesOutPayload, snap.BytesOutFraming, snap.BytesOutTotal)
+	}
+	if snap.Encodings["type0"] != 1 || snap.Encodings["dense"] != 3 || snap.Encodings["sparse"] != 1 {
+		t.Fatalf("encodings = %v", snap.Encodings)
+	}
+	if snap.BlockBytes.Count != 5 || snap.BlockBytes.Sum != wantPayload {
+		t.Fatalf("block bytes hist = %+v", snap.BlockBytes)
+	}
+	// Ring depth 4: the oldest of 5 records was evicted; ids are 0..4
+	// in completion order, so traces are 1..4 oldest-first.
+	if len(snap.Traces) != 4 {
+		t.Fatalf("traces = %+v", snap.Traces)
+	}
+	for i, tr := range snap.Traces {
+		if tr.Block != uint64(i+1) {
+			t.Fatalf("trace %d has block id %d, want %d", i, tr.Block, i+1)
+		}
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	c := New(-1)
+	c.RecordBlock(TraceRecord{BytesIn: 8, BytesOut: 2})
+	snap := c.Snapshot()
+	if snap.Blocks != 1 || len(snap.Traces) != 0 {
+		t.Fatalf("blocks=%d traces=%v", snap.Blocks, snap.Traces)
+	}
+}
+
+// TestConcurrentExactness drives many goroutines into one collector
+// and asserts counters and histograms are exact, not approximate —
+// the invariant the parallel pipeline's accounting relies on. Run
+// under -race this also proves the mutation paths are data-race free.
+func TestConcurrentExactness(t *testing.T) {
+	c := New(8)
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.RecordBlock(TraceRecord{
+					Encoding: BlockEncoding(i % int(numBlockEncodings)),
+					BytesIn:  64,
+					BytesOut: i % 32,
+				})
+				c.AddFramingBytes(1)
+				c.StageEnd(StageEncode, c.StageStart())
+				c.RecordDecodedBlock(2, 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	const total = workers * perWorker
+	if snap.Blocks != total || snap.BlocksDecoded != total {
+		t.Fatalf("blocks = %d/%d, want %d", snap.Blocks, snap.BlocksDecoded, total)
+	}
+	if snap.BytesIn != total*64 || snap.BytesOutFraming != total {
+		t.Fatalf("bytes in/framing = %d/%d", snap.BytesIn, snap.BytesOutFraming)
+	}
+	var encSum uint64
+	for _, n := range snap.Encodings {
+		encSum += n
+	}
+	if encSum != total {
+		t.Fatalf("encoding counts sum to %d, want %d", encSum, total)
+	}
+	if snap.BlockBytes.Count != total {
+		t.Fatalf("histogram count = %d, want %d", snap.BlockBytes.Count, total)
+	}
+	var bucketSum uint64
+	for _, b := range snap.BlockBytes.Buckets {
+		bucketSum += b.N
+	}
+	if bucketSum != total {
+		t.Fatalf("histogram buckets sum to %d, want %d", bucketSum, total)
+	}
+	if st := snap.Stages[StageEncode.String()]; st.Count != total {
+		t.Fatalf("stage count = %d, want %d", st.Count, total)
+	}
+	if len(snap.Traces) != 8 {
+		t.Fatalf("ring kept %d records, want 8", len(snap.Traces))
+	}
+}
+
+func TestSnapshotJSONAndExpvar(t *testing.T) {
+	c := New(2)
+	c.RecordBlock(TraceRecord{SubBlocks: 2, Encoding: EncDense, BytesIn: 16, BytesOut: 4, EBSlack: 1e-11})
+	c.AddFramingBytes(3)
+	var decoded map[string]any
+	if err := json.Unmarshal(c.Snapshot().JSON(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"blocks", "bytes_in", "bytes_out_total", "encodings", "stages", "traces"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("snapshot JSON missing %q", key)
+		}
+	}
+	trs := decoded["traces"].([]any)
+	tr := trs[0].(map[string]any)
+	if tr["encoding"] != "dense" {
+		t.Fatalf("trace encoding = %v, want dense", tr["encoding"])
+	}
+
+	c.Publish("telemetry-test")
+	v := expvar.Get("telemetry-test")
+	if v == nil {
+		t.Fatal("Publish did not register")
+	}
+	var fromVar map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &fromVar); err != nil {
+		t.Fatalf("expvar value does not parse: %v", err)
+	}
+	if fromVar["bytes_out_total"].(float64) != 7 {
+		t.Fatalf("expvar total = %v, want 7", fromVar["bytes_out_total"])
+	}
+	c.Publish("telemetry-test") // idempotent, must not panic
+}
+
+func TestStageAndEncodingNames(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if s.String() == "stage?" {
+			t.Errorf("stage %d has no name", s)
+		}
+	}
+	if Stage(200).String() != "stage?" {
+		t.Error("out-of-range stage name")
+	}
+	for e := BlockEncoding(0); e < numBlockEncodings; e++ {
+		if e.String() == "enc?" {
+			t.Errorf("encoding %d has no name", e)
+		}
+	}
+	if BlockEncoding(200).String() != "enc?" {
+		t.Error("out-of-range encoding name")
+	}
+}

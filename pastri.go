@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Metric selects the pattern-scaling method (Sec. IV-A of the paper).
@@ -64,6 +65,12 @@ type Options struct {
 	DisableSparse bool
 	// Workers bounds (de)compression parallelism; 0 uses GOMAXPROCS.
 	Workers int
+	// Collector, when non-nil, receives per-stage timings, byte
+	// accounting and per-block trace records from every compression or
+	// decompression run under these options (see NewCollector). The nil
+	// default is zero-cost: each instrumentation point reduces to one
+	// untaken branch.
+	Collector *Collector
 }
 
 // NewOptions returns the paper's shipped configuration for the given
@@ -98,6 +105,7 @@ func (o Options) internal() core.Config {
 		Encoding:      encoding.Method(o.Encoding),
 		DisableSparse: o.DisableSparse,
 		Workers:       o.Workers,
+		Collector:     o.Collector,
 	}
 }
 
@@ -131,6 +139,40 @@ func Decompress(comp []byte) ([]float64, error) {
 // (0 means GOMAXPROCS).
 func DecompressWorkers(comp []byte, workers int) ([]float64, error) {
 	return core.Decompress(comp, workers)
+}
+
+// Collector aggregates pipeline observability: lock-free counters,
+// bucketed histograms, per-stage timers and a per-block trace ring
+// buffer (see internal/telemetry). Attach one via Options.Collector
+// (compression) or DecompressCollect (decompression); read it with
+// Snapshot (pull-based — the pipeline never calls back), render it
+// with Snapshot.JSON, or serve it live with Publish plus an HTTP
+// server exposing expvar's /debug/vars. A nil *Collector is a valid
+// no-op sink. One collector may be shared by any number of concurrent
+// workers; its counters stay exact regardless of schedule.
+type Collector = telemetry.Collector
+
+// CollectorSnapshot is the point-in-time view Collector.Snapshot
+// returns.
+type CollectorSnapshot = telemetry.Snapshot
+
+// TraceRecord is one block's entry in a Collector's trace ring.
+type TraceRecord = telemetry.TraceRecord
+
+// NewCollector returns a live Collector with the default trace depth
+// (the most recent 256 blocks).
+func NewCollector() *Collector { return telemetry.New(0) }
+
+// NewCollectorTraceDepth returns a Collector whose trace ring retains
+// depth blocks (0 ⇒ default, negative ⇒ tracing disabled; counters,
+// histograms and timers are always on).
+func NewCollectorTraceDepth(depth int) *Collector { return telemetry.New(depth) }
+
+// DecompressCollect is DecompressWorkers with a telemetry sink:
+// per-block decode timings and decoded block/byte counts are recorded
+// into c (nil ⇒ no telemetry).
+func DecompressCollect(comp []byte, workers int, c *Collector) ([]float64, error) {
+	return core.DecompressCollect(comp, workers, c)
 }
 
 // StreamInfo describes a compressed stream without decompressing it.
