@@ -9,7 +9,7 @@ FUZZTIME ?= 5s
 # PR; the floor leaves a small margin for refactors).
 COVER_THRESHOLD ?= 88.0
 
-.PHONY: build test vet lint race fuzz-smoke bench-smoke cover verify clean
+.PHONY: build test vet lint race fuzz-smoke bench-smoke bench-json cover verify clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,27 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='^(BenchmarkTelemetryOverhead|BenchmarkCompressWorkers)$$' \
 		-benchtime=1x .
 
+# bench-json: measure the perf-tracked benchmarks and refresh the
+# "current" section of BENCH_PR4.json (committed; cmd/benchjson keeps
+# the baseline sections intact). Figure benchmarks run once — their
+# reported metrics (ratios, deviations) are deterministic — while the
+# kernel micro-benchmarks get real measurement time. CI uploads the
+# JSON and the raw text as artifacts; tune BENCHTIME/BENCH_COUNT for
+# quicker local runs.
+BENCHTIME ?= 2s
+BENCH_COUNT ?= 3
+KERNEL_BENCHES = ^(BenchmarkCompressWorkers|BenchmarkCompressWorkersFF|BenchmarkDecompressCollect|BenchmarkDecodeBlock|BenchmarkBlockCodec)$$
+FIGURE_BENCHES = ^(BenchmarkFig|BenchmarkAblation|BenchmarkHybrid|BenchmarkOutput|BenchmarkParallelScaling|BenchmarkParallelStreamWriter|BenchmarkTelemetryOverhead)
+
+bench-json:
+	@rm -f bench_current.txt
+	$(GO) test -run='^$$' -bench='$(FIGURE_BENCHES)' -benchmem -benchtime=1x -timeout=60m . >> bench_current.txt
+	$(GO) test -run='^$$' -bench='$(KERNEL_BENCHES)' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) -timeout=60m . >> bench_current.txt
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./internal/bitio >> bench_current.txt
+	$(GO) run ./cmd/benchjson -file BENCH_PR4.json -label current \
+		-flags '-benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) (kernel) / -benchtime=1x (figures)' \
+		< bench_current.txt
+
 # cover: combined coverage of the codec core (internal/core +
 # internal/encoding) over their own tests plus the public-API suite;
 # fails below COVER_THRESHOLD so future PRs can't silently shed tests.
@@ -68,4 +89,4 @@ verify: build test vet lint race fuzz-smoke bench-smoke cover
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz cover.out
+	rm -rf internal/*/testdata/fuzz cover.out bench_current.txt

@@ -399,6 +399,75 @@ func BenchmarkCompressWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressWorkersFF runs the same worker sweep on the
+// (ff|ff) configuration — 100×100-point blocks, the paper's
+// heavyweight shape — and is the acceptance gate for kernel-level
+// optimisations (see BENCH_PR4.json for the tracked trajectory).
+func BenchmarkCompressWorkersFF(b *testing.B) {
+	ds := getDataset(b, "alanine", 3)
+	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	serial, err := pastri.CompressWorkers(ds.data, opts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(ds.rawBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := pastri.CompressWorkers(ds.data, opts, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			comp, err := pastri.CompressWorkers(ds.data, opts, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(comp, serial) {
+				b.Fatalf("workers=%d output differs from serial", workers)
+			}
+			b.SetBytes(ds.rawBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := pastri.CompressWorkers(ds.data, opts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressCollect measures whole-stream decompression (the
+// decode-side counterpart of BenchmarkCompressWorkers), with and
+// without a live collector, at 1 and 4 workers.
+func BenchmarkDecompressCollect(b *testing.B) {
+	ds := getDataset(b, "alanine", 2)
+	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	comp, err := pastri.Compress(ds.data, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.SetBytes(ds.rawBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := pastri.DecompressWorkers(comp, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("collector", func(b *testing.B) {
+		col := pastri.NewCollector()
+		b.SetBytes(ds.rawBytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := pastri.DecompressCollect(comp, 1, col); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParallelStreamWriter measures the incremental parallel path:
 // blocks submitted one at a time, payloads sequenced in order.
 func BenchmarkParallelStreamWriter(b *testing.B) {
@@ -482,4 +551,44 @@ func BenchmarkBlockCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDecodeBlock isolates the per-block decode hot path on (dd|dd)
+// and (ff|ff) shaped blocks: one reused decoder, one reused reader, a
+// preallocated destination — the steady state of DecompressCollect's
+// inner loop, and the subject of TestDecodeBlockAllocs.
+func BenchmarkDecodeBlock(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		l    int
+	}{{"dd", 2}, {"ff", 3}} {
+		b.Run(shape.name, func(b *testing.B) {
+			ds := getDataset(b, "alanine", shape.l)
+			cfg := core.Defaults(ds.numSB, ds.sbSize, 1e-10)
+			block := ds.data[:cfg.BlockSize()]
+			enc, err := core.NewBlockEncoder(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := bitio.NewWriter(4096)
+			if err := enc.EncodeBlock(w, block); err != nil {
+				b.Fatal(err)
+			}
+			payload := append([]byte(nil), w.Bytes()...)
+			dec, err := core.NewBlockDecoder(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := make([]float64, cfg.BlockSize())
+			r := bitio.NewReader(nil)
+			b.SetBytes(int64(len(block) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(payload)
+				if err := dec.DecodeBlock(r, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

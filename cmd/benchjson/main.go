@@ -1,0 +1,162 @@
+// benchjson converts `go test -bench -benchmem` output into a labeled
+// JSON document so benchmark trajectories can be committed and diffed
+// across PRs (BENCH_PR4.json holds the kernel-optimisation baseline).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -file BENCH.json -label current
+//
+// The tool reads benchmark text from stdin, parses every result line,
+// and writes the results under the given label in -file. Other labels
+// already present in the file are preserved, so a committed baseline
+// section survives regeneration of the current section. With no -file
+// the JSON document is written to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// A Result is one parsed benchmark result line. Metrics maps unit to
+// value exactly as reported ("ns/op", "MB/s", "B/op", "allocs/op", and
+// any b.ReportMetric custom units). Repeated -count runs of the same
+// benchmark produce one Result each.
+type Result struct {
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// A Section is one labeled benchmark run.
+type Section struct {
+	Date    string   `json:"date"`
+	Go      string   `json:"go"`
+	Flags   string   `json:"flags,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// A Document is the whole committed file: one section per label.
+type Document struct {
+	Comment  string              `json:"comment,omitempty"`
+	Sections map[string]*Section `json:"sections"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func parse(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		n, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit fields in %q", line)
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", line, err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		out = append(out, Result{Name: m[1], Procs: procs, N: n, Metrics: metrics})
+	}
+	return out, r.Err()
+}
+
+func load(path string) (*Document, error) {
+	doc := &Document{Sections: map[string]*Section{}}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if doc.Sections == nil {
+		doc.Sections = map[string]*Section{}
+	}
+	return doc, nil
+}
+
+func main() {
+	var (
+		file    = flag.String("file", "", "JSON document to update in place (default: write to stdout)")
+		label   = flag.String("label", "current", "section label for this run")
+		flags   = flag.String("flags", "", "benchmark flags to record alongside the results")
+		comment = flag.String("comment", "", "set the document-level comment")
+	)
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := &Document{Sections: map[string]*Section{}}
+	if *file != "" {
+		if doc, err = load(*file); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *comment != "" {
+		doc.Comment = *comment
+	}
+	doc.Sections[*label] = &Section{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Flags:   *flags,
+		Results: results,
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if *file == "" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*file, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s section %q\n", len(results), *file, *label)
+}

@@ -80,6 +80,7 @@ func All() []*Analyzer {
 		NoPanic,
 		GoroutineCapture,
 		TelemetryDrop,
+		HotAlloc,
 	}
 }
 

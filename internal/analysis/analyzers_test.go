@@ -32,6 +32,10 @@ func TestTelemetryDrop(t *testing.T) {
 	runFixture(t, TelemetryDrop, "telemetrydrop", fixtureModPath+"/internal/fixtures")
 }
 
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc", fixtureModPath+"/internal/fixtures")
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"floatcmp", "nopanic"})
 	if err != nil || len(as) != 2 || as[0] != FloatCmp || as[1] != NoPanic {

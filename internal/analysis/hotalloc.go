@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the zero-allocation contract of the block kernels.
+// Functions marked with a `//pastri:hotpath` doc-comment directive run
+// once per block (or per sub-block value) and are covered by
+// AllocsPerRun regression tests; a stray make or an append into a fresh
+// slice inside one of them re-introduces per-block heap traffic that
+// the type system cannot see and benchmarks only catch after the fact.
+//
+// Inside a hotpath function (including function literals nested in it)
+// the analyzer flags:
+//
+//   - any call to the builtin make;
+//   - append whose destination is a freshly created slice (composite
+//     literal, conversion like []T(nil), or any call result);
+//   - append whose result does not feed back into its destination,
+//     i.e. anything other than `x = append(x, ...)` (slicing and
+//     parenthesizing the destination are fine: `*p = append((*p)[:0],
+//     ...)` is the pooled-buffer idiom).
+//
+// In-place grow-and-reuse appends on caller- or struct-owned scratch
+// are the intended idiom and pass untouched. Deliberate per-call
+// allocations (one-time setup inside a hot entry point, pool misses)
+// carry a //lint:hotalloc-ok marker stating why they are not per-block.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag make and append-into-new-slice inside //pastri:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+const hotPathMarker = "//pastri:hotpath"
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			p.checkHotBody(fn)
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment group carries
+// the hotpath directive on a line of its own.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkHotBody(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	walkStack(fn.Body, func(stack []ast.Node, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch p.builtinName(call) {
+		case "make":
+			p.Reportf(call.Pos(),
+				"make in hotpath function %s allocates on every call; hoist into reusable scratch or annotate //lint:hotalloc-ok",
+				name)
+		case "append":
+			if len(call.Args) == 0 {
+				return true
+			}
+			if isFreshSlice(ast.Unparen(call.Args[0])) {
+				p.Reportf(call.Pos(),
+					"append into a fresh slice in hotpath function %s allocates on every call; append in place into reusable scratch or annotate //lint:hotalloc-ok",
+					name)
+				return true
+			}
+			if !p.appendInPlace(stack, call) {
+				p.Reportf(call.Pos(),
+					"append result in hotpath function %s does not feed back into its destination; use x = append(x, ...) on reusable scratch or annotate //lint:hotalloc-ok",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// builtinName returns the name of the builtin being called, or "" if
+// call is not a direct builtin invocation.
+func (p *Pass) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := p.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// isFreshSlice reports whether e creates a slice at the point of use: a
+// composite literal or any call result (conversions like []T(nil) and
+// make(...) parse as calls). Identifiers, selectors, index and slice
+// expressions refer to existing backing arrays and are not fresh.
+func isFreshSlice(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return true
+	}
+	return false
+}
+
+// appendInPlace reports whether call sits on the right-hand side of an
+// assignment whose matching left-hand side is the same expression as
+// the append destination's base (slicing and parens stripped), i.e. the
+// canonical `x = append(x, ...)` / `*p = append((*p)[:0], ...)` shapes.
+func (p *Pass) appendInPlace(stack []ast.Node, call *ast.CallExpr) bool {
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	as, ok := stack[i].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for j, rhs := range as.Rhs {
+		if ast.Unparen(rhs) != ast.Expr(call) {
+			continue
+		}
+		lhs := exprString(p.Fset, ast.Unparen(as.Lhs[j]))
+		base := exprString(p.Fset, sliceBase(call.Args[0]))
+		return lhs == base
+	}
+	return false
+}
+
+// sliceBase strips parens and slicing from e: (*p)[:0] -> *p, x[:n] -> x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -189,6 +190,34 @@ func sourceFileWanted(e os.DirEntry) bool {
 		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
+// buildTags is the loader's build context: host OS/arch, gc compiler,
+// no optional tags. In particular `race` is false, so of a
+// race_on.go/race_off.go pair only the !race file is loaded — the same
+// selection an ordinary `go build` makes.
+var buildTags = map[string]bool{
+	runtime.GOOS:   true,
+	runtime.GOARCH: true,
+	"gc":           true,
+}
+
+// fileIncluded reports whether src's //go:build constraint (if any,
+// scanning the leading line-comment block) is satisfied under
+// buildTags. Files without a constraint are always included.
+func fileIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(func(tag string) bool { return buildTags[tag] })
+			}
+			continue
+		}
+		// First non-comment line: build constraints must precede it.
+		break
+	}
+	return true
+}
+
 // importPathFor maps a module-local directory to its import path.
 func (l *Loader) importPathFor(dir string) (string, error) {
 	rel, err := filepath.Rel(l.modRoot, dir)
@@ -237,7 +266,15 @@ func (l *Loader) typeCheckDir(path, dir string) (*Package, error) {
 		if !sourceFileWanted(e) {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil,
+		full := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !fileIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, full, src,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err

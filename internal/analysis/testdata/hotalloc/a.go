@@ -1,0 +1,85 @@
+package fixtures
+
+// Positives: per-call allocation shapes inside hotpath functions.
+
+// encodeHot is a fake block kernel.
+//
+//pastri:hotpath
+func encodeHot(n int) []float64 {
+	buf := make([]float64, n) // want "make in hotpath function encodeHot allocates on every call"
+	return buf
+}
+
+//pastri:hotpath
+func appendFreshLiteral(v byte) []byte {
+	return append([]byte{}, v) // want "append into a fresh slice in hotpath function appendFreshLiteral"
+}
+
+//pastri:hotpath
+func appendFreshConversion(src []byte) []byte {
+	return append([]byte(nil), src...) // want "append into a fresh slice in hotpath function appendFreshConversion"
+}
+
+//pastri:hotpath
+func appendIntoOther(dst []int64, v int64) []int64 {
+	out := append(dst, v) // want "append result in hotpath function appendIntoOther does not feed back"
+	return out
+}
+
+//pastri:hotpath
+func appendReturned(dst []int64, v int64) []int64 {
+	return append(dst, v) // want "append result in hotpath function appendReturned does not feed back"
+}
+
+// Positives survive inside nested function literals: worker goroutines
+// spawned by a hotpath fan-out are themselves hot.
+//
+//pastri:hotpath
+func hotFanOut(n int) {
+	work := func() {
+		scratch := make([]byte, n) // want "make in hotpath function hotFanOut allocates on every call"
+		_ = scratch
+	}
+	work()
+}
+
+// Clean: the in-place grow-and-reuse idiom on caller-owned scratch.
+
+//pastri:hotpath
+func appendInPlace(dst []float64, block []float64) []float64 {
+	for _, x := range block {
+		dst = append(dst, x*2)
+	}
+	return dst
+}
+
+// Clean: the pooled-buffer idiom — slicing and parens on the
+// destination still count as feeding back in place.
+//
+//pastri:hotpath
+func pooledBuffer(p *[]byte, payload []byte) {
+	*p = append((*p)[:0], payload...)
+}
+
+// Clean: deliberate per-call (not per-block) allocation, annotated.
+
+//pastri:hotpath
+func annotatedSetup(nblocks int) [][]byte {
+	payloads := make([][]byte, nblocks) //lint:hotalloc-ok one slice per call, not per block
+	return payloads
+}
+
+// Clean: cold functions allocate freely.
+
+func coldPath(n int) []float64 {
+	buf := make([]float64, n)
+	return append(buf[:0], 1.5)
+}
+
+// Clean: a doc comment that merely mentions the marker in prose (not on
+// a line of its own) does not mark the function hot.
+
+// notHot explains that callers on a pastri:hotpath should pre-size dst.
+func notHot(n int) []int {
+	return make([]int, n)
+}

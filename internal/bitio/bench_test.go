@@ -1,6 +1,9 @@
 package bitio
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkWriteBits(b *testing.B) {
 	w := NewWriter(1 << 16)
@@ -32,6 +35,83 @@ func BenchmarkReadBits(b *testing.B) {
 		}
 		if _, err := r.ReadBits(27); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBitsNarrow measures the batched refill path on the
+// widths the tree coders actually use: many short reads per word.
+func BenchmarkReadBitsNarrow(b *testing.B) {
+	for _, width := range []uint{1, 7, 17} {
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			w := NewWriter(1 << 16)
+			n := 8192
+			for i := 0; i < n; i++ {
+				w.WriteBits(uint64(i), width)
+			}
+			buf := w.Bytes()
+			r := NewReader(buf)
+			b.SetBytes(int64(width) / 8)
+			for i := 0; i < b.N; i++ {
+				if i%n == 0 {
+					r.Reset(buf)
+				}
+				if _, err := r.ReadBits(width); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// unaryLens is a Tree-4-shaped run-length mix: overwhelmingly short
+// codes with occasional long ones, mirroring ECQ bin statistics.
+func unaryLens() []uint {
+	lens := make([]uint, 4096)
+	for i := range lens {
+		switch {
+		case i%31 == 0:
+			lens[i] = uint(i % 61)
+		case i%7 == 0:
+			lens[i] = 3
+		default:
+			lens[i] = uint(i % 2)
+		}
+	}
+	return lens
+}
+
+func BenchmarkWriteUnary(b *testing.B) {
+	lens := unaryLens()
+	w := NewWriter(1 << 16)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		if i%len(lens) == 0 {
+			w.Reset()
+		}
+		w.WriteUnary(lens[i%len(lens)])
+	}
+}
+
+func BenchmarkReadUnary(b *testing.B) {
+	lens := unaryLens()
+	w := NewWriter(1 << 16)
+	for _, n := range lens {
+		w.WriteUnary(n)
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		if i%len(lens) == 0 {
+			r.Reset(buf)
+		}
+		n, err := r.ReadUnary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != lens[i%len(lens)] {
+			b.Fatalf("ReadUnary = %d, want %d", n, lens[i%len(lens)])
 		}
 	}
 }

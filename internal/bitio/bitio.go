@@ -3,11 +3,19 @@
 // (PaSTRI's prefix trees, the SZ Huffman stage, and the ZFP bit-plane
 // coder). Bits are packed MSB-first within each byte, which makes the
 // encoded streams byte-order independent and easy to inspect in tests.
+//
+// The hot paths are word-at-a-time: the Writer batches bits into a
+// 64-bit accumulator flushed whole, the Reader serves from a 64-bit
+// refill register loaded eight bytes at once, and the unary codec runs
+// on bits.LeadingZeros64 instead of per-bit loops. All fast paths are
+// exercised against the bit-exact reference semantics by the fuzzers.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrUnexpectedEOF is returned by Reader methods when the stream ends in
@@ -86,11 +94,17 @@ func (w *Writer) WriteSigned(v int64, width uint) {
 }
 
 // WriteUnary appends n as a unary code: n one-bits followed by a zero-bit.
+// The whole code is emitted word-at-a-time: any unary value up to 63 is
+// a single WriteBits call, longer runs flush full words of ones first.
 func (w *Writer) WriteUnary(n uint) {
-	for i := uint(0); i < n; i++ {
-		w.WriteBit(1)
+	for n >= 64 {
+		w.WriteBits(^uint64(0), 64)
+		n -= 64
 	}
-	w.WriteBit(0)
+	// n <= 63 ones followed by the stop bit, as one (n+1)-bit pattern.
+	// At n = 63 the 1<<64 wraps to 0 and 0-2 underflows to 63 ones + a
+	// zero — exactly the intended 64-bit code.
+	w.WriteBits((1<<(n+1))-2, n+1) //lint:shiftwidth-ok wrap at n=63 yields the correct all-ones-plus-stop pattern (see comment)
 }
 
 func (w *Writer) flushWord() {
@@ -112,16 +126,17 @@ func (w *Writer) BitLen() uint64 { return w.bits }
 
 // Bytes returns the written stream padded with zero bits to a byte
 // boundary. The returned slice is valid until the next Write/Reset.
+// The tail (up to 63 buffered bits) is appended as one padded word in
+// a single append, so a Writer whose buffer has spare capacity makes
+// no allocation here.
 func (w *Writer) Bytes() []byte {
 	out := w.buf
-	n := w.n
-	cur := w.cur
-	for n >= 8 {
-		n -= 8
-		out = append(out, byte(cur>>n)) //lint:shiftwidth-ok n <= 63: n == 64 triggers flushWord in every write path
-	}
-	if n > 0 {
-		out = append(out, byte(cur<<(8-n))) //lint:shiftwidth-ok 8-n in [1,7]: the loop above left n < 8
+	if n := w.n; n > 0 {
+		// Left-align the n valid bits into a full word; the low bits are
+		// the zero padding.
+		var tail [8]byte
+		binary.BigEndian.PutUint64(tail[:], w.cur<<(64-n)) //lint:shiftwidth-ok n in [1,63]: the n > 0 guard and flushWord's n == 64 reset bound it
+		out = append(out, tail[:(n+7)/8]...)
 	}
 	// The append above may have grown a new array; only the flushed prefix
 	// lives in w.buf, so re-slicing is safe for subsequent writes.
@@ -132,7 +147,7 @@ func (w *Writer) Bytes() []byte {
 type Reader struct {
 	buf  []byte
 	pos  int    // next byte index
-	cur  uint64 // bit reservoir, left-aligned in low `n` bits
+	cur  uint64 // bit reservoir: valid bits are the low `n` bits (higher bits are stale)
 	n    uint   // valid bits in cur
 	read uint64 // total bits consumed
 }
@@ -151,7 +166,16 @@ func (r *Reader) Reset(buf []byte) {
 	r.read = 0
 }
 
+// fill tops up the reservoir. When the reservoir is empty and eight
+// bytes remain, a whole word is loaded at once; otherwise bytes are
+// added until the reservoir holds more than 56 bits or input runs out.
 func (r *Reader) fill() {
+	if r.n == 0 && r.pos+8 <= len(r.buf) {
+		r.cur = binary.BigEndian.Uint64(r.buf[r.pos:])
+		r.pos += 8
+		r.n = 64
+		return
+	}
 	for r.n <= 56 && r.pos < len(r.buf) {
 		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
 		r.pos++
@@ -173,13 +197,21 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits reads `width` bits (MSB-first) into the low bits of the result.
-// width must be in [0, 64].
+// width must be in [0, 64]. Reads that fit in the buffered reservoir —
+// the overwhelmingly common case after a word-sized refill — are served
+// with one shift and one mask.
 func (r *Reader) ReadBits(width uint) (uint64, error) {
 	if width == 0 {
 		return 0, nil
 	}
 	if width > 64 {
 		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", width)) //lint:nopanic-ok programmer error: decoders validate header widths before reading
+	}
+	if width < 64 && width <= r.n {
+		// Fast path: serve from the reservoir.
+		r.n -= width
+		r.read += uint64(width)
+		return (r.cur >> r.n) & ((1 << width) - 1), nil //lint:shiftwidth-ok width < 64 by the branch; r.n <= 63 after subtracting width >= 1
 	}
 	var v uint64
 	remaining := width
@@ -229,18 +261,70 @@ func (r *Reader) ReadSigned(width uint) (int64, error) {
 }
 
 // ReadUnary reads a unary code (count of leading one-bits before a zero).
+// The run of ones is counted word-at-a-time with bits.LeadingZeros64 on
+// the left-aligned reservoir, so a typical short code costs one shift,
+// one complement and one LZCNT instead of a per-bit loop.
 func (r *Reader) ReadUnary() (uint, error) {
-	var n uint
+	var total uint
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		if r.n == 0 {
+			r.fill()
+			if r.n == 0 {
+				return 0, ErrUnexpectedEOF
+			}
 		}
-		if b == 0 {
-			return n, nil
+		// Left-align the n valid bits at the top of a word (bits below
+		// them become zero, bits above position n in cur are stale and
+		// shifted out), then count the leading ones.
+		word := r.cur << (64 - r.n) //lint:shiftwidth-ok r.n in [1,64] here: fill guarantees n >= 1 and caps at 64
+		ones := uint(bits.LeadingZeros64(^word))
+		if ones < r.n {
+			// The stop bit is inside the reservoir: consume run + stop.
+			r.n -= ones + 1
+			r.read += uint64(ones) + 1
+			return total + ones, nil
 		}
-		n++
+		// Every valid bit is a one: consume them all and refill.
+		total += r.n
+		r.read += uint64(r.n)
+		r.n = 0
 	}
+}
+
+// ReadZeroRun consumes and counts consecutive zero bits, at most max.
+// It stops before the first one-bit, which stays in the stream, and at
+// end of input it returns the zeros consumed so far without error — the
+// next ReadBit/ReadBits reports EOF exactly as per-bit reading would.
+// Tree decoders use this to consume a run of zero-valued symbols (one
+// zero bit each) with a single bits.LeadingZeros64 per reservoir word.
+func (r *Reader) ReadZeroRun(max uint) uint {
+	var total uint
+	for total < max {
+		if r.n == 0 {
+			r.fill()
+			if r.n == 0 {
+				return total
+			}
+		}
+		// Left-align the valid bits; bits below them are zero, so clamp
+		// the count to the reservoir before trusting it.
+		word := r.cur << (64 - r.n) //lint:shiftwidth-ok r.n in [1,64] here: fill guarantees n >= 1 and caps at 64
+		zeros := uint(bits.LeadingZeros64(word))
+		if zeros > r.n {
+			zeros = r.n
+		}
+		if zeros > max-total {
+			zeros = max - total
+		}
+		r.n -= zeros
+		r.read += uint64(zeros)
+		total += zeros
+		if r.n > 0 {
+			// Stopped on a one-bit (left unconsumed) or on quota.
+			return total
+		}
+	}
+	return total
 }
 
 // BitsRead reports the total number of bits consumed so far.

@@ -95,6 +95,164 @@ func TestUnary(t *testing.T) {
 	}
 }
 
+// TestUnaryBoundaries pins the word-level unary codec at the lengths
+// where the fast path changes shape: the single-call limit (63), the
+// full-word run (64), and multi-word runs.
+func TestUnaryBoundaries(t *testing.T) {
+	vals := []uint{0, 1, 62, 63, 64, 65, 127, 128, 129, 200}
+	for _, pad := range []uint{0, 1, 7, 13} { // misalign the code start
+		w := NewWriter(64)
+		w.WriteBits(0, pad)
+		for _, v := range vals {
+			w.WriteUnary(v)
+		}
+		r := NewReader(w.Bytes())
+		if _, err := r.ReadBits(pad); err != nil {
+			t.Fatalf("pad %d: %v", pad, err)
+		}
+		for i, want := range vals {
+			got, err := r.ReadUnary()
+			if err != nil {
+				t.Fatalf("pad %d unary %d: %v", pad, i, err)
+			}
+			if got != want {
+				t.Fatalf("pad %d unary %d = %d, want %d", pad, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBytesTailPadding checks the single-append tail flush against the
+// bit-exact expected bytes for every possible buffered-tail length,
+// including the widest 63-bit tail.
+func TestBytesTailPadding(t *testing.T) {
+	for n := uint(0); n <= 63; n++ {
+		w := NewWriter(16)
+		w.WriteBits(^uint64(0), n) // n ones, padded with zeros to a byte
+		got := w.Bytes()
+		if want := int((n + 7) / 8); len(got) != want {
+			t.Fatalf("n=%d: len(Bytes) = %d, want %d", n, len(got), want)
+		}
+		var bit uint
+		r := NewReader(got)
+		for i := uint(0); i < uint(len(got))*8; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				t.Fatalf("n=%d bit %d: %v", n, i, err)
+			}
+			if i < n {
+				bit = 1
+			} else {
+				bit = 0
+			}
+			if b != bit {
+				t.Fatalf("n=%d bit %d = %d, want %d", n, i, b, bit)
+			}
+		}
+	}
+}
+
+// TestBytesNoAlloc: with spare buffer capacity, Bytes must not allocate
+// even with a buffered tail.
+func TestBytesNoAlloc(t *testing.T) {
+	w := NewWriter(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Reset()
+		w.WriteBits(0xabc, 12) // leaves a 12-bit tail
+		_ = w.Bytes()
+	})
+	if allocs != 0 {
+		t.Fatalf("Bytes with buffered tail allocated %v times", allocs)
+	}
+}
+
+// TestReadZeroRun covers runs that stop on a one-bit, on the quota, and
+// at end of input, across reservoir refills.
+func TestReadZeroRun(t *testing.T) {
+	w := NewWriter(64)
+	runs := []uint{0, 1, 5, 63, 64, 70, 130, 2}
+	for _, k := range runs {
+		for i := uint(0); i < k; i++ {
+			w.WriteBit(0)
+		}
+		w.WriteBit(1) // terminator, must stay unconsumed by ReadZeroRun
+	}
+	r := NewReader(w.Bytes())
+	for i, k := range runs {
+		got := r.ReadZeroRun(1 << 20)
+		if got != k {
+			t.Fatalf("run %d: ReadZeroRun = %d, want %d", i, got, k)
+		}
+		b, err := r.ReadBit()
+		if err != nil || b != 1 {
+			t.Fatalf("run %d: terminator = %d, %v", i, b, err)
+		}
+	}
+
+	// Quota stops mid-run without touching the remainder.
+	w.Reset()
+	w.WriteBits(0, 40)
+	w.WriteBits(1, 1)
+	r.Reset(w.Bytes())
+	if got := r.ReadZeroRun(17); got != 17 {
+		t.Fatalf("quota run = %d, want 17", got)
+	}
+	if got := r.ReadZeroRun(1 << 20); got != 23 {
+		t.Fatalf("rest of run = %d, want 23", got)
+	}
+	if b, err := r.ReadBit(); err != nil || b != 1 {
+		t.Fatalf("terminator after quota = %d, %v", b, err)
+	}
+
+	// End of input: zeros up to the padded end, then no error from the
+	// run reader itself — the next ReadBit reports EOF.
+	w.Reset()
+	w.WriteBits(0, 11)
+	r.Reset(w.Bytes())
+	if got := r.ReadZeroRun(1 << 20); got != 16 { // 11 written + 5 pad bits
+		t.Fatalf("EOF run = %d, want 16", got)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("after exhausted run: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadBitsMatchesPerBit cross-checks the batched ReadBits fast path
+// against bit-at-a-time reference reads over a shared stream.
+func TestReadBitsMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWriter(0)
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(rng.Uint64(), uint(rng.Intn(64))+1)
+	}
+	buf := w.Bytes()
+	batched := NewReader(buf)
+	perBit := NewReader(buf)
+	widths := []uint{1, 3, 8, 13, 17, 31, 33, 63, 64}
+	for i := 0; ; i++ {
+		width := widths[i%len(widths)]
+		got, errB := batched.ReadBits(width)
+		var want uint64
+		var errR error
+		for j := uint(0); j < width; j++ {
+			var b uint
+			if b, errR = perBit.ReadBit(); errR != nil {
+				break
+			}
+			want = want<<1 | uint64(b)
+		}
+		if (errB != nil) != (errR != nil) {
+			t.Fatalf("read %d width %d: batched err %v, per-bit err %v", i, width, errB, errR)
+		}
+		if errB != nil {
+			break
+		}
+		if got != want {
+			t.Fatalf("read %d width %d: batched %#x, per-bit %#x", i, width, got, want)
+		}
+	}
+}
+
 func TestUnexpectedEOF(t *testing.T) {
 	w := NewWriter(1)
 	w.WriteBits(0b101, 3)

@@ -21,6 +21,16 @@ func FuzzBitio(f *testing.F) {
 		64, 1, 2, 3, 4, 5, 6, 7, 8,
 		1, 1, 0, 0, 0, 0, 0, 0, 0,
 	})
+	// 63 buffered bits at Bytes() time: the widest possible unflushed
+	// tail, exercising the single-append padded-word flush.
+	f.Add([]byte{62, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88})
+	// 63 buffered bits followed by more writes, so the accumulator
+	// straddles the word boundary mid-stream too.
+	f.Add([]byte{
+		62, 0x0f, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08,
+		0x81, 1, 0, 0, 0, 0, 0, 0, 0,
+		62, 0xf0, 0xe0, 0xd0, 0xc0, 0xb0, 0xa0, 0x90, 0x80,
+	})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		type rec struct {
 			width  uint

@@ -36,12 +36,14 @@ const (
 type BlockEncoder struct {
 	cfg Config
 	col *telemetry.Collector // from cfg; nil ⇒ no telemetry
-	// scratch
+	// scratch arenas, sized once in reset and reused for every block
 	pq    []int64
 	sq    []int64
 	ecq   []int64
 	pHat  []float64
-	stats *Stats // optional, may be nil
+	pat   pattern.Scratch
+	costs encoding.CostCounts // filled by analyze, priced in EncodeBlock
+	stats *Stats              // optional, may be nil
 }
 
 // NewBlockEncoder returns an encoder for the given configuration.
@@ -49,29 +51,61 @@ func NewBlockEncoder(cfg Config) (*BlockEncoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &BlockEncoder{
-		cfg: cfg,
-		col: cfg.Collector,
-		pq:  make([]int64, cfg.SBSize),
-		sq:  make([]int64, cfg.NumSB),
-		ecq: make([]int64, cfg.BlockSize()),
-	}, nil
+	e := &BlockEncoder{}
+	e.reset(cfg)
+	return e, nil
+}
+
+// reset re-points the encoder at cfg (which must already be validated)
+// and sizes the scratch arenas, reusing their backing arrays when the
+// geometry allows. The encoder pool uses this to recycle encoders
+// across blocks and calls.
+func (e *BlockEncoder) reset(cfg Config) {
+	e.cfg = cfg
+	e.col = cfg.Collector
+	e.stats = nil
+	e.pq = growI64(e.pq, cfg.SBSize)
+	e.sq = growI64(e.sq, cfg.NumSB)
+	e.ecq = growI64(e.ecq, cfg.BlockSize())
+	e.pHat = growFloat64(e.pHat, cfg.SBSize)
+}
+
+// growI64 returns s resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // CollectStats attaches a Stats sink; pass nil to detach.
 func (e *BlockEncoder) CollectStats(s *Stats) { e.stats = s }
 
 // analyze runs the pattern-scaling and quantization stages
-// (Sec. IV-A/IV-B), filling the scratch buffers pq, sq and ecq, and
-// returns the pattern/scale bit width P_b and the widest ECQ bin.
+// (Sec. IV-A/IV-B) as one fused traversal: pattern fit into the
+// encoder's scratch, pattern/scale quantization, and an error-correction
+// pass that quantizes, tracks the widest bin and accumulates the cost
+// counts for every encoding method (consumed by EncodeBlock) in a
+// single scan. It fills the scratch buffers pq, sq and ecq, and returns
+// the pattern/scale bit width P_b and the widest ECQ bin.
+//
+//pastri:hotpath
 func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 	cfg := e.cfg
 	if len(block) != cfg.BlockSize() {
 		return 0, 0, fmt.Errorf("core: block has %d points, config wants %d", len(block), cfg.BlockSize())
 	}
-	// 1. Pattern analysis (Sec. IV-A).
+	// 1. Pattern analysis (Sec. IV-A), writing into encoder-owned scratch.
 	tFit := e.col.StageStart()
-	res, err := pattern.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
+	res, err := e.pat.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
 	e.col.StageEnd(telemetry.StagePatternFit, tFit)
 	if err != nil {
 		return 0, 0, err
@@ -99,24 +133,43 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 
 	// 3. Error correction against the *reconstructed* scaled pattern, so
 	// the EC term absorbs the quantization error of P and S (eq. (11)).
-	// The reconstructed pattern is hoisted out of the sub-block loop.
-	if cap(e.pHat) < cfg.SBSize {
-		e.pHat = make([]float64, cfg.SBSize)
-	}
+	// The reconstructed pattern is hoisted out of the sub-block loop, and
+	// the loop body feeds each quantum to the cost accumulator, whose
+	// Observe returns the bin number — so quantization, ECb_max tracking
+	// and method pricing all ride the same pass over the block.
 	pHat := e.pHat[:cfg.SBSize]
 	for i := range pHat {
 		pHat[i] = quant.Dequantize(e.pq[i], pBin)
 	}
 	ecBin := 2 * eb
+	// Most residuals quantize to zero (that is what makes ECQ compress),
+	// and the divide in Quantize dominates this loop. A residual d with
+	// |d| < 0.499·ecBin provably rounds to quantum 0: even after the two
+	// roundings (the threshold multiply and Quantize's divide) the
+	// quotient magnitude stays below 0.499·(1+2⁻⁵³)² < 0.5, so
+	// math.Round yields ±0 and int64(±0) is 0 — byte-identical to the
+	// slow path. Residuals in [0.499, 0.5)·ecBin just take the divide and
+	// still produce 0. The margin argument assumes a normal-range
+	// threshold, so absurdly tiny bins fall back to always dividing.
+	zeroCut := 0.499 * ecBin
+	if ecBin < 1e-300 {
+		zeroCut = 0
+	}
 	ecbMax = 1
+	e.costs.Reset()
 	for s := 0; s < cfg.NumSB; s++ {
 		sHat := quant.Dequantize(e.sq[s], sBin)
 		base := s * cfg.SBSize
-		for i := 0; i < cfg.SBSize; i++ {
-			ec := block[base+i] - sHat*pHat[i]
-			q := quant.Quantize(ec, ecBin)
-			e.ecq[base+i] = q
-			if b := quant.BitsForValue(q); b > ecbMax {
+		sub := block[base : base+cfg.SBSize]
+		out := e.ecq[base : base+cfg.SBSize]
+		for i, x := range sub {
+			d := x - sHat*pHat[i]
+			var q int64
+			if !(d < zeroCut && d > -zeroCut) {
+				q = quant.Quantize(d, ecBin)
+			}
+			out[i] = q
+			if b := e.costs.Observe(q); b > ecbMax {
 				ecbMax = b
 			}
 		}
@@ -142,6 +195,8 @@ func (e *BlockEncoder) ECQCodes(block []float64) ([]int64, uint, error) {
 
 // EncodeBlock appends the compressed representation of block to w.
 // len(block) must equal cfg.BlockSize().
+//
+//pastri:hotpath
 func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 	cfg := e.cfg
 	startBits := w.BitLen()
@@ -171,8 +226,11 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 	if ecbMax > 1 {
 		idxBits := encoding.IndexBits(cfg.BlockSize())
 		countBits := encoding.IndexBits(cfg.BlockSize() + 1)
-		dense := encoding.CostBits(e.ecq, ecbMax, cfg.Encoding)
-		sparse := encoding.SparseCostBits(e.ecq, ecbMax, idxBits, countBits)
+		// The cost counts were accumulated during analyze's quantization
+		// pass; pricing every method is O(1) algebra from here.
+		set := e.costs.CostSet(ecbMax, idxBits, countBits)
+		dense := set.Bits(cfg.Encoding)
+		sparse := set.Sparse
 		if !cfg.DisableSparse && sparse < dense {
 			usedSparse = true
 			w.WriteBit(1)
@@ -218,7 +276,7 @@ func (e *BlockEncoder) recordTrace(block []float64, pb uint, payloadBits uint64,
 		if v == 0 { //lint:floatcmp-ok exact zero test selects values that have a binary exponent
 			continue
 		}
-		_, exp := math.Frexp(v)
+		exp := quant.Exponent(v) // math.Frexp's exponent, without the split
 		if !seen {
 			minExp, maxExp, seen = exp, exp, true
 		} else if exp < minExp {
@@ -268,17 +326,26 @@ func NewBlockDecoder(cfg Config) (*BlockDecoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &BlockDecoder{
-		cfg: cfg,
-		col: cfg.Collector,
-		pq:  make([]int64, cfg.SBSize),
-		sq:  make([]int64, cfg.NumSB),
-		ecq: make([]int64, cfg.BlockSize()),
-	}, nil
+	d := &BlockDecoder{}
+	d.reset(cfg)
+	return d, nil
+}
+
+// reset re-points the decoder at cfg (which must already be validated),
+// sizing the scratch arenas and reusing backing arrays when possible.
+func (d *BlockDecoder) reset(cfg Config) {
+	d.cfg = cfg
+	d.col = cfg.Collector
+	d.pq = growI64(d.pq, cfg.SBSize)
+	d.sq = growI64(d.sq, cfg.NumSB)
+	d.ecq = growI64(d.ecq, cfg.BlockSize())
+	d.pHat = growFloat64(d.pHat, cfg.SBSize)
 }
 
 // DecodeBlock reads one block from r into dst, which must have
 // cfg.BlockSize() elements.
+//
+//pastri:hotpath
 func (d *BlockDecoder) DecodeBlock(r *bitio.Reader, dst []float64) error {
 	cfg := d.cfg
 	if len(dst) != cfg.BlockSize() {
@@ -341,9 +408,6 @@ func (d *BlockDecoder) DecodeBlock(r *bitio.Reader, dst []float64) error {
 	pBin := 2 * eb
 	sBin := quant.ScaleBinSize(sb)
 	ecBin := 2 * eb
-	if cap(d.pHat) < cfg.SBSize {
-		d.pHat = make([]float64, cfg.SBSize)
-	}
 	pHat := d.pHat[:cfg.SBSize]
 	for i := range pHat {
 		pHat[i] = quant.Dequantize(d.pq[i], pBin)

@@ -39,29 +39,37 @@ func normalizeWorkers(workers, nblocks int) int {
 }
 
 // compressPayloads compresses every block of data (a whole number of
-// blocks, pre-validated by the caller) into its own byte buffer,
+// blocks, pre-validated by the caller) into its own pooled byte buffer,
 // fanning out over workers goroutines. payloads[b] depends only on the
 // block contents and cfg, never on the worker count or schedule. If
 // stats is non-nil, per-worker accumulators are merged into it.
-func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([][]byte, error) {
+//
+// Encoders and payload buffers come from the package pools: the caller
+// must hand the returned buffers back via putPayloads once their
+// contents have been copied out. Steady state does zero per-block heap
+// allocation.
+//
+//pastri:hotpath
+func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]*[]byte, error) {
 	bs := cfg.BlockSize()
 	nblocks := len(data) / bs
-	payloads := make([][]byte, nblocks)
+	payloads := make([]*[]byte, nblocks) //lint:hotalloc-ok one slice per call, not per block
 	workers = normalizeWorkers(workers, nblocks)
 
 	if workers <= 1 {
-		enc, err := NewBlockEncoder(cfg)
-		if err != nil {
-			return nil, err
-		}
+		enc := getEncoder(cfg)
+		defer putEncoder(enc)
 		enc.CollectStats(stats)
 		w := bitio.NewWriter(bs)
 		for b := 0; b < nblocks; b++ {
 			w.Reset()
 			if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
+				putPayloads(payloads)
 				return nil, err
 			}
-			payloads[b] = append([]byte(nil), w.Bytes()...)
+			p := getPayload()
+			*p = append((*p)[:0], w.Bytes()...) //lint:hotalloc-ok pooled buffer: append is in place once warm
+			payloads[b] = p
 		}
 		return payloads, nil
 	}
@@ -72,7 +80,7 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 		firstErr error
 	)
 	tSplit := cfg.Collector.StageStart()
-	next := make(chan int, nblocks)
+	next := make(chan int, nblocks) //lint:hotalloc-ok one channel per call, not per block
 	for b := 0; b < nblocks; b++ {
 		next <- b
 	}
@@ -82,15 +90,8 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			enc, err := NewBlockEncoder(cfg)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
+			enc := getEncoder(cfg)
+			defer putEncoder(enc)
 			var local *Stats
 			if stats != nil {
 				local = NewStats()
@@ -107,7 +108,9 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 					mu.Unlock()
 					return
 				}
-				payloads[b] = append([]byte(nil), w.Bytes()...)
+				p := getPayload()
+				*p = append((*p)[:0], w.Bytes()...) //lint:hotalloc-ok pooled buffer: append is in place once warm
+				payloads[b] = p
 			}
 			if local != nil {
 				mu.Lock()
@@ -118,6 +121,7 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 	}
 	wg.Wait()
 	if firstErr != nil {
+		putPayloads(payloads)
 		return nil, firstErr
 	}
 	return payloads, nil
@@ -142,10 +146,11 @@ type pswJob struct {
 }
 
 // pswResult carries one compressed payload (or the encoder's error)
-// back to the sequencer.
+// back to the sequencer. The payload buffer is pooled: the sequencer
+// returns it via putPayload after writing (or discarding) it.
 type pswResult struct {
 	seq     uint64
-	payload []byte
+	payload *[]byte
 	err     error
 }
 
@@ -234,15 +239,8 @@ func (s *ParallelStreamWriter) start() {
 
 func (s *ParallelStreamWriter) worker(local *Stats) {
 	defer s.wg.Done()
-	enc, err := NewBlockEncoder(s.cfg)
-	if err != nil {
-		// Config was validated in the constructor; still, fail every job
-		// rather than panic if an encoder cannot be built.
-		for j := range s.jobs {
-			s.results <- pswResult{seq: j.seq, err: err}
-		}
-		return
-	}
+	enc := getEncoder(s.cfg)
+	defer putEncoder(enc)
 	enc.CollectStats(local)
 	bw := bitio.NewWriter(s.cfg.BlockSize())
 	for j := range s.jobs {
@@ -257,7 +255,9 @@ func (s *ParallelStreamWriter) worker(local *Stats) {
 		err := enc.EncodeBlock(bw, j.data)
 		res := pswResult{seq: j.seq, err: err}
 		if err == nil {
-			res.payload = append([]byte(nil), bw.Bytes()...)
+			p := getPayload()
+			*p = append((*p)[:0], bw.Bytes()...)
+			res.payload = p
 		}
 		s.blockPool.Put(&j.data)
 		s.results <- res
@@ -292,29 +292,32 @@ func (s *ParallelStreamWriter) sequencer() {
 			}
 			delete(pending, nextSeq)
 			nextSeq++
-			if dead {
-				continue
-			}
-			if r.err != nil {
+			switch {
+			case dead:
+				// Stream already failed: discard.
+			case r.err != nil:
 				s.fail(r.err)
 				dead = true
-				continue
+			default:
+				tWrite := col.StageStart()
+				n := binary.PutUvarint(lenBuf[:], uint64(len(*r.payload)))
+				if _, err := s.w.Write(lenBuf[:n]); err != nil {
+					s.fail(err)
+					dead = true
+				} else if _, err := s.w.Write(*r.payload); err != nil {
+					s.fail(err)
+					dead = true
+				} else {
+					col.StageEnd(telemetry.StageWrite, tWrite)
+					col.AddFramingBytes(n)
+					s.written.Add(1)
+				}
 			}
-			tWrite := col.StageStart()
-			n := binary.PutUvarint(lenBuf[:], uint64(len(r.payload)))
-			if _, err := s.w.Write(lenBuf[:n]); err != nil {
-				s.fail(err)
-				dead = true
-				continue
+			// The payload buffer is recycled whether it was written or
+			// discarded: bufio.Writer has copied what it needs by now.
+			if r.payload != nil {
+				putPayload(r.payload)
 			}
-			if _, err := s.w.Write(r.payload); err != nil {
-				s.fail(err)
-				dead = true
-				continue
-			}
-			col.StageEnd(telemetry.StageWrite, tWrite)
-			col.AddFramingBytes(n)
-			s.written.Add(1)
 		}
 		tWait = col.StageStart()
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+)
+
+// Pools recycling per-worker kernel state across blocks and calls.
+// A BlockEncoder/BlockDecoder owns sizable scratch arenas (pq, sq, ecq,
+// pHat, pattern scratch), and every compressed block needs a payload
+// buffer; recycling all three means steady-state compression performs
+// zero per-block heap allocation (enforced by TestCompressWorkersAllocs
+// and TestDecodeBlockAllocs). The arenas adapt to the largest geometry
+// seen via reset, so mixed-Config callers share the pools safely.
+
+var encoderPool sync.Pool
+
+// getEncoder returns a pooled encoder reset to cfg, which must already
+// be validated (the pool path cannot report a validation error).
+func getEncoder(cfg Config) *BlockEncoder {
+	if v := encoderPool.Get(); v != nil {
+		e := v.(*BlockEncoder)
+		e.reset(cfg)
+		return e
+	}
+	e := &BlockEncoder{}
+	e.reset(cfg)
+	return e
+}
+
+// putEncoder returns an encoder to the pool, dropping references the
+// pool must not retain (collector, stats sink).
+func putEncoder(e *BlockEncoder) {
+	e.col = nil
+	e.stats = nil
+	encoderPool.Put(e)
+}
+
+var decoderPool sync.Pool
+
+// getDecoder is the decode-side counterpart of getEncoder.
+func getDecoder(cfg Config) *BlockDecoder {
+	if v := decoderPool.Get(); v != nil {
+		d := v.(*BlockDecoder)
+		d.reset(cfg)
+		return d
+	}
+	d := &BlockDecoder{}
+	d.reset(cfg)
+	return d
+}
+
+func putDecoder(d *BlockDecoder) {
+	d.col = nil
+	decoderPool.Put(d)
+}
+
+// payloadPool recycles per-block payload buffers. Pointers (not slices)
+// travel through the pool so a Get/Put cycle allocates nothing once the
+// pool is warm; callers append into the pointed-to slice and hand the
+// same pointer back via putPayload after the payload has been copied
+// into the assembled stream.
+var payloadPool sync.Pool
+
+func getPayload() *[]byte {
+	if v := payloadPool.Get(); v != nil {
+		return v.(*[]byte)
+	}
+	return new([]byte)
+}
+
+func putPayload(p *[]byte) {
+	payloadPool.Put(p)
+}
+
+// putPayloads returns a whole compression call's payload buffers.
+func putPayloads(ps []*[]byte) {
+	for _, p := range ps {
+		if p != nil {
+			putPayload(p)
+		}
+	}
+}

@@ -53,30 +53,32 @@ func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleStream(payloads, cfg), nil
+	out := assembleStream(payloads, cfg)
+	putPayloads(payloads) // contents copied into out; recycle the buffers
+	return out, nil
 }
 
 // assembleStream concatenates header, varint framing and block
 // payloads. Framing bytes (everything that is not block payload) are
 // reported to the collector so payload + framing equals the stream
 // size exactly.
-func assembleStream(payloads [][]byte, cfg Config) []byte {
+func assembleStream(payloads []*[]byte, cfg Config) []byte {
 	col := cfg.Collector
 	defer col.Timer(telemetry.StageWrite).Stop()
 	framing := headerSize
 	total := headerSize
 	var lenBuf [binary.MaxVarintLen64]byte
 	for _, p := range payloads {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		n := binary.PutUvarint(lenBuf[:], uint64(len(*p)))
 		framing += n
-		total += n + len(p)
+		total += n + len(*p)
 	}
 	out := make([]byte, 0, total)
 	out = appendHeader(out, cfg, uint64(len(payloads)))
 	for _, p := range payloads {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+		n := binary.PutUvarint(lenBuf[:], uint64(len(*p)))
 		out = append(out, lenBuf[:n]...)
-		out = append(out, p...)
+		out = append(out, *p...)
 	}
 	col.AddFramingBytes(framing)
 	return out
@@ -173,10 +175,8 @@ func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]fl
 		workers = int(nblocks)
 	}
 	if workers <= 1 {
-		dec, err := NewBlockDecoder(cfg)
-		if err != nil {
-			return nil, err
-		}
+		dec := getDecoder(cfg)
+		defer putDecoder(dec)
 		r := bitio.NewReader(nil)
 		for b := range spans {
 			r.Reset(comp[spans[b].lo:spans[b].hi])
@@ -202,15 +202,8 @@ func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]fl
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dec, err := NewBlockDecoder(cfg)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
+			dec := getDecoder(cfg)
+			defer putDecoder(dec)
 			r := bitio.NewReader(nil)
 			for b := range next {
 				r.Reset(comp[spans[b].lo:spans[b].hi])

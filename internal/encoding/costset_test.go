@@ -1,0 +1,197 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/quant"
+)
+
+// ecqShaped returns a slice with ECQ-like statistics: mostly zeros,
+// many ±1, occasional wide values.
+func ecqShaped(rng *rand.Rand, n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = 1
+		case 1:
+			vals[i] = -1
+		case 2:
+			vals[i] = rng.Int63n(1<<20) - 1<<19
+		case 3:
+			vals[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return vals
+}
+
+// TestCostSetMatchesCostBits checks the single-scan CostSet against the
+// per-method reference costers on ECQ-shaped and adversarial inputs.
+func TestCostSetMatchesCostBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := [][]int64{
+		nil,
+		{0},
+		{1, -1, 0, 2, -2},
+		{1 << 40, -(1 << 40)},
+	}
+	for i := 0; i < 50; i++ {
+		inputs = append(inputs, ecqShaped(rng, rng.Intn(400)+1))
+	}
+	for _, vals := range inputs {
+		for _, ecb := range []uint{1, 2, 3, maxBin(vals), 33, 64} {
+			idxBits := IndexBits(len(vals))
+			countBits := IndexBits(len(vals) + 1)
+			set := Costs(vals, ecb, idxBits, countBits)
+			for _, m := range Methods {
+				if got, want := set.Bits(m), CostBits(vals, ecb, m); got != want {
+					t.Fatalf("CostSet %v (ecb=%d, n=%d) = %d, want %d", m, ecb, len(vals), got, want)
+				}
+			}
+			if got, want := set.Sparse, SparseCostBits(vals, ecb, idxBits, countBits); got != want {
+				t.Fatalf("CostSet sparse (ecb=%d, n=%d) = %d, want %d", ecb, len(vals), got, want)
+			}
+		}
+	}
+}
+
+// TestObserveReturnsBin pins Observe's bin classification to
+// quant.BitsForValue.
+func TestObserveReturnsBin(t *testing.T) {
+	vals := []int64{0, 1, -1, 2, -2, 3, 127, -128, 1 << 30, -(1 << 62)}
+	var c CostCounts
+	for _, v := range vals {
+		if got, want := c.Observe(v), quant.BitsForValue(v); got != want {
+			t.Fatalf("Observe(%d) bin = %d, want %d", v, got, want)
+		}
+	}
+	if c.N != uint64(len(vals)) || c.Zero != 1 || c.One != 1 || c.NegOne != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	c.Reset()
+	if c != (CostCounts{}) {
+		t.Fatalf("Reset left %+v", c)
+	}
+}
+
+// referenceEncode is the symbol-at-a-time coder the batched Encode must
+// reproduce bit for bit.
+func referenceEncode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
+	for _, v := range vals {
+		switch m {
+		case Fixed:
+			w.WriteSigned(v, ecbMax)
+		case Tree1:
+			if v == 0 {
+				w.WriteBit(0)
+			} else {
+				w.WriteBit(1)
+				w.WriteSigned(v, ecbMax)
+			}
+		case Tree2:
+			switch v {
+			case 0:
+				w.WriteBit(0)
+			case 1:
+				w.WriteBits(0b10, 2)
+			case -1:
+				w.WriteBits(0b110, 3)
+			default:
+				w.WriteBits(0b111, 3)
+				w.WriteSigned(v, ecbMax)
+			}
+		case Tree3:
+			switch v {
+			case 0:
+				w.WriteBit(0)
+			case 1:
+				w.WriteBits(0b110, 3)
+			case -1:
+				w.WriteBits(0b111, 3)
+			default:
+				w.WriteBits(0b10, 2)
+				w.WriteSigned(v, ecbMax)
+			}
+		case Tree4:
+			bin := quant.BitsForValue(v)
+			w.WriteUnary(bin - 1)
+			switch {
+			case bin == 1:
+			case bin == 2:
+				if v == 1 {
+					w.WriteBit(0)
+				} else {
+					w.WriteBit(1)
+				}
+			default:
+				abs, sign := v, uint64(0)
+				if v < 0 {
+					abs, sign = -v, 1
+				}
+				lo := int64(1) << (bin - 2)
+				w.WriteBits(uint64(abs-lo)<<1|sign, bin-1)
+			}
+		case Tree5:
+			if ecbMax <= 2 {
+				switch v {
+				case 0:
+					w.WriteBit(0)
+				case 1:
+					w.WriteBits(0b10, 2)
+				default:
+					w.WriteBits(0b11, 2)
+				}
+			} else {
+				referenceEncode(w, []int64{v}, ecbMax, Tree3)
+			}
+		}
+	}
+}
+
+// TestBatchedEncodeByteIdentical proves the run-batched, fused-write
+// coders emit exactly the reference bitstream, and that the zero-run
+// decoder consumes it back.
+func TestBatchedEncodeByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inputs := [][]int64{
+		{},
+		{0, 0, 0},
+		{5},
+		append(append(make([]int64, 130), 7, -9, 1, -1), make([]int64, 70)...),
+	}
+	for i := 0; i < 40; i++ {
+		inputs = append(inputs, ecqShaped(rng, rng.Intn(600)+1))
+	}
+	for _, vals := range inputs {
+		for _, m := range Methods {
+			ecbs := []uint{maxBin(vals), 33, 64}
+			if m == Tree5 && maxBin(vals) <= 2 {
+				ecbs = append(ecbs, 2)
+			}
+			for _, ecb := range ecbs {
+				if ecb < maxBin(vals) {
+					continue
+				}
+				want := bitio.NewWriter(64)
+				referenceEncode(want, vals, ecb, m)
+				got := bitio.NewWriter(64)
+				Encode(got, vals, ecb, m)
+				if !bytes.Equal(got.Bytes(), want.Bytes()) || got.BitLen() != want.BitLen() {
+					t.Fatalf("%v ecb=%d n=%d: batched encode differs from reference", m, ecb, len(vals))
+				}
+				dst := make([]int64, len(vals))
+				if err := Decode(bitio.NewReader(got.Bytes()), dst, ecb, m); err != nil {
+					t.Fatalf("%v ecb=%d: decode: %v", m, ecb, err)
+				}
+				for j := range vals {
+					if dst[j] != vals[j] {
+						t.Fatalf("%v ecb=%d: dst[%d] = %d, want %d", m, ecb, j, dst[j], vals[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -66,9 +66,35 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// zeroRunLen returns the number of consecutive zeros in vals starting
+// at i. The tree coders spend one bit per zero, so a run of k zeros is
+// exactly k zero bits — emitted in word-sized chunks by writeZeroRun.
+func zeroRunLen(vals []int64, i int) int {
+	j := i
+	for j < len(vals) && vals[j] == 0 {
+		j++
+	}
+	return j - i
+}
+
+// writeZeroRun emits k zero bits in at most k/64+1 WriteBits calls.
+func writeZeroRun(w *bitio.Writer, k int) {
+	for ; k >= 64; k -= 64 {
+		w.WriteBits(0, 64)
+	}
+	if k > 0 {
+		w.WriteBits(0, uint(k))
+	}
+}
+
 // Encode writes vals using method m. ecbMax must be ≥ the bin number
 // (quant.BitsForValue) of every value; the same ecbMax must be passed to
-// Decode.
+// Decode. Every branch batches: runs of zero-valued symbols collapse to
+// word-sized zero writes and each code+payload pair that fits 64 bits is
+// a single WriteBits call, producing the same bitstream as the
+// symbol-at-a-time reference coder.
+//
+//pastri:hotpath
 func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 	switch m {
 	case Fixed:
@@ -76,40 +102,67 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 			w.WriteSigned(v, ecbMax)
 		}
 	case Tree1:
-		for _, v := range vals {
-			if v == 0 {
-				w.WriteBit(0)
+		for i := 0; i < len(vals); {
+			if k := zeroRunLen(vals, i); k > 0 {
+				writeZeroRun(w, k)
+				i += k
+				continue
+			}
+			v := vals[i]
+			if ecbMax < 64 {
+				// "1" + value as one (1+ecbMax)-bit pattern.
+				w.WriteBits(1<<ecbMax|uint64(v)&((1<<ecbMax)-1), 1+ecbMax) //lint:shiftwidth-ok ecbMax < 64 by the branch condition
 			} else {
 				w.WriteBit(1)
 				w.WriteSigned(v, ecbMax)
 			}
+			i++
 		}
 	case Tree2:
-		for _, v := range vals {
-			switch v {
-			case 0:
-				w.WriteBit(0)
+		for i := 0; i < len(vals); {
+			if k := zeroRunLen(vals, i); k > 0 {
+				writeZeroRun(w, k)
+				i += k
+				continue
+			}
+			switch v := vals[i]; v {
 			case 1:
 				w.WriteBits(0b10, 2)
 			case -1:
 				w.WriteBits(0b110, 3)
 			default:
-				w.WriteBits(0b111, 3)
-				w.WriteSigned(v, ecbMax)
+				if ecbMax <= 61 {
+					w.WriteBits(0b111<<ecbMax|uint64(v)&((1<<ecbMax)-1), 3+ecbMax) //lint:shiftwidth-ok ecbMax <= 61 by the branch condition
+				} else {
+					w.WriteBits(0b111, 3)
+					w.WriteSigned(v, ecbMax)
+				}
 			}
+			i++
 		}
 	case Tree3:
 		encodeTree3(w, vals, ecbMax)
 	case Tree4:
-		for _, v := range vals {
-			encodeTree4Value(w, v)
+		for i := 0; i < len(vals); {
+			// A zero is bin 1 = a lone stop bit, so zero runs batch here
+			// exactly as in the binary trees.
+			if k := zeroRunLen(vals, i); k > 0 {
+				writeZeroRun(w, k)
+				i += k
+				continue
+			}
+			encodeTree4Value(w, vals[i])
+			i++
 		}
 	case Tree5:
 		if ecbMax <= 2 {
-			for _, v := range vals {
-				switch v {
-				case 0:
-					w.WriteBit(0)
+			for i := 0; i < len(vals); {
+				if k := zeroRunLen(vals, i); k > 0 {
+					writeZeroRun(w, k)
+					i += k
+					continue
+				}
+				switch v := vals[i]; v {
 				case 1:
 					w.WriteBits(0b10, 2)
 				case -1:
@@ -117,6 +170,7 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 				default:
 					panic(fmt.Sprintf("encoding: value %d exceeds ECb_max=2", v)) //lint:nopanic-ok unreachable: quantizer clamps error-correction values to ECb_max
 				}
+				i++
 			}
 		} else {
 			encodeTree3(w, vals, ecbMax)
@@ -126,36 +180,50 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 	}
 }
 
+//pastri:hotpath
 func encodeTree3(w *bitio.Writer, vals []int64, ecbMax uint) {
-	for _, v := range vals {
-		switch v {
-		case 0:
-			w.WriteBit(0)
+	for i := 0; i < len(vals); {
+		if k := zeroRunLen(vals, i); k > 0 {
+			writeZeroRun(w, k)
+			i += k
+			continue
+		}
+		switch v := vals[i]; v {
 		case 1:
 			w.WriteBits(0b110, 3)
 		case -1:
 			w.WriteBits(0b111, 3)
 		default:
-			w.WriteBits(0b10, 2)
-			w.WriteSigned(v, ecbMax)
+			if ecbMax <= 62 {
+				// "10" + value as one (2+ecbMax)-bit pattern.
+				w.WriteBits(0b10<<ecbMax|uint64(v)&((1<<ecbMax)-1), 2+ecbMax) //lint:shiftwidth-ok ecbMax <= 62 by the branch condition
+			} else {
+				w.WriteBits(0b10, 2)
+				w.WriteSigned(v, ecbMax)
+			}
 		}
+		i++
 	}
 }
 
 // encodeTree4Value writes one value with the bin-unary Tree 4 code. Bin i
 // holds 2^(i−1) values: bin 1 = {0}, bin 2 = {−1, 1}, bin i = ±[2^(i−2),
 // 2^(i−1)−1]. The payload index is (|v| − 2^(i−2))·2 + sign for i ≥ 3.
+// Codes up to bin 32 (unary prefix + payload ≤ 63 bits) are emitted as a
+// single WriteBits pattern.
+//
+//pastri:hotpath
 func encodeTree4Value(w *bitio.Writer, v int64) {
 	bin := quant.BitsForValue(v)
-	w.WriteUnary(bin - 1)
 	switch {
 	case bin == 1:
-		// no payload
+		w.WriteBit(0)
 	case bin == 2:
+		// "10" + sign bit in one go.
 		if v == 1 {
-			w.WriteBit(0)
+			w.WriteBits(0b100, 3)
 		} else {
-			w.WriteBit(1)
+			w.WriteBits(0b101, 3)
 		}
 	default:
 		abs := v
@@ -166,12 +234,35 @@ func encodeTree4Value(w *bitio.Writer, v int64) {
 		}
 		lo := int64(1) << (bin - 2) //lint:shiftwidth-ok bin = BitsForValue(v) <= 65 by construction, so bin-2 <= 63
 		payload := uint64(abs-lo)<<1 | sign
-		w.WriteBits(payload, bin-1)
+		if bin <= 32 {
+			// (bin-1 ones + stop bit) then bin-1 payload bits: 2·bin-1 <= 63
+			// bits total, one call.
+			prefix := (uint64(1)<<(bin-1) - 1) << 1
+			w.WriteBits(prefix<<(bin-1)|payload, 2*bin-1)
+		} else {
+			w.WriteUnary(bin - 1)
+			w.WriteBits(payload, bin-1)
+		}
 	}
 }
 
+// readZeros consumes a run of zero-valued symbols (one zero bit each)
+// into dst[i:], returning the new index. The next bit in the stream, if
+// any, is a one: the start of a nonzero symbol.
+func readZeros(r *bitio.Reader, dst []int64, i int) int {
+	k := int(r.ReadZeroRun(uint(len(dst) - i)))
+	for j := 0; j < k; j++ {
+		dst[i+j] = 0
+	}
+	return i + k
+}
+
 // Decode reads len(dst) values previously written by Encode with the same
-// method and ecbMax.
+// method and ecbMax. Runs of zero symbols are consumed word-at-a-time via
+// bitio.ReadZeroRun; the bit consumption is identical to the
+// symbol-at-a-time reference decoder.
+//
+//pastri:hotpath
 func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 	switch m {
 	case Fixed:
@@ -183,37 +274,35 @@ func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 			dst[i] = v
 		}
 	case Tree1:
-		for i := range dst {
-			b, err := r.ReadBit()
-			if err != nil {
-				return err
+		for i := 0; i < len(dst); {
+			if i = readZeros(r, dst, i); i == len(dst) {
+				break
 			}
-			if b == 0 {
-				dst[i] = 0
-				continue
+			if _, err := r.ReadBit(); err != nil { // the "1" marker
+				return err
 			}
 			v, err := r.ReadSigned(ecbMax)
 			if err != nil {
 				return err
 			}
 			dst[i] = v
+			i++
 		}
 	case Tree2:
-		for i := range dst {
+		for i := 0; i < len(dst); {
+			if i = readZeros(r, dst, i); i == len(dst) {
+				break
+			}
+			if _, err := r.ReadBit(); err != nil { // the leading "1"
+				return err
+			}
 			b, err := r.ReadBit()
 			if err != nil {
 				return err
 			}
 			if b == 0 {
-				dst[i] = 0
-				continue
-			}
-			b, err = r.ReadBit()
-			if err != nil {
-				return err
-			}
-			if b == 0 {
 				dst[i] = 1
+				i++
 				continue
 			}
 			b, err = r.ReadBit()
@@ -222,6 +311,7 @@ func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 			}
 			if b == 0 {
 				dst[i] = -1
+				i++
 				continue
 			}
 			v, err := r.ReadSigned(ecbMax)
@@ -229,29 +319,33 @@ func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 				return err
 			}
 			dst[i] = v
+			i++
 		}
 	case Tree3:
 		return decodeTree3(r, dst, ecbMax)
 	case Tree4:
-		for i := range dst {
+		for i := 0; i < len(dst); {
+			// Bin 1 is a lone zero bit, so zero runs batch here too.
+			if i = readZeros(r, dst, i); i == len(dst) {
+				break
+			}
 			v, err := decodeTree4Value(r)
 			if err != nil {
 				return err
 			}
 			dst[i] = v
+			i++
 		}
 	case Tree5:
 		if ecbMax <= 2 {
-			for i := range dst {
-				b, err := r.ReadBit()
-				if err != nil {
+			for i := 0; i < len(dst); {
+				if i = readZeros(r, dst, i); i == len(dst) {
+					break
+				}
+				if _, err := r.ReadBit(); err != nil { // the leading "1"
 					return err
 				}
-				if b == 0 {
-					dst[i] = 0
-					continue
-				}
-				b, err = r.ReadBit()
+				b, err := r.ReadBit()
 				if err != nil {
 					return err
 				}
@@ -260,6 +354,7 @@ func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 				} else {
 					dst[i] = -1
 				}
+				i++
 			}
 			return nil
 		}
@@ -270,17 +365,16 @@ func Decode(r *bitio.Reader, dst []int64, ecbMax uint, m Method) error {
 	return nil
 }
 
+//pastri:hotpath
 func decodeTree3(r *bitio.Reader, dst []int64, ecbMax uint) error {
-	for i := range dst {
-		b, err := r.ReadBit()
-		if err != nil {
+	for i := 0; i < len(dst); {
+		if i = readZeros(r, dst, i); i == len(dst) {
+			break
+		}
+		if _, err := r.ReadBit(); err != nil { // the leading "1"
 			return err
 		}
-		if b == 0 {
-			dst[i] = 0
-			continue
-		}
-		b, err = r.ReadBit()
+		b, err := r.ReadBit()
 		if err != nil {
 			return err
 		}
@@ -290,6 +384,7 @@ func decodeTree3(r *bitio.Reader, dst []int64, ecbMax uint) error {
 				return err
 			}
 			dst[i] = v
+			i++
 			continue
 		}
 		b, err = r.ReadBit()
@@ -301,6 +396,7 @@ func decodeTree3(r *bitio.Reader, dst []int64, ecbMax uint) error {
 		} else {
 			dst[i] = -1
 		}
+		i++
 	}
 	return nil
 }
@@ -421,6 +517,10 @@ func SparseCostBits(vals []int64, ecbMax, idxBits, countBits uint) uint64 {
 }
 
 // EncodeSparse writes vals as (count, then per-nonzero index+value).
+// When index and value fit one word together they go out as a single
+// WriteBits pattern.
+//
+//pastri:hotpath
 func EncodeSparse(w *bitio.Writer, vals []int64, ecbMax, idxBits, countBits uint) {
 	nnz := uint64(0)
 	for _, v := range vals {
@@ -429,6 +529,14 @@ func EncodeSparse(w *bitio.Writer, vals []int64, ecbMax, idxBits, countBits uint
 		}
 	}
 	w.WriteBits(nnz, countBits)
+	if idxBits+ecbMax <= 64 && ecbMax < 64 {
+		for i, v := range vals {
+			if v != 0 {
+				w.WriteBits(uint64(i)<<ecbMax|uint64(v)&((1<<ecbMax)-1), idxBits+ecbMax) //lint:shiftwidth-ok ecbMax < 64 by the branch condition
+			}
+		}
+		return
+	}
 	for i, v := range vals {
 		if v != 0 {
 			w.WriteBits(uint64(i), idxBits)

@@ -70,6 +70,23 @@ type Result struct {
 // The returned pattern is the slice block[p*sbSize:(p+1)*sbSize] for
 // p = Result.PatternIndex; callers quantize it separately.
 func Analyze(block []float64, numSB, sbSize int, m Metric) (Result, error) {
+	return new(Scratch).Analyze(block, numSB, sbSize, m)
+}
+
+// Scratch owns the working buffers of repeated Analyze calls so the
+// per-block hot path allocates nothing. A zero Scratch is ready to use;
+// the buffers grow to the largest geometry seen and are then reused.
+type Scratch struct {
+	scales []float64
+	aggs   []float64
+}
+
+// Analyze is like the package-level Analyze, but the Scales slice of
+// the returned Result aliases the Scratch and is only valid until the
+// next call on the same Scratch.
+//
+//pastri:hotpath
+func (sc *Scratch) Analyze(block []float64, numSB, sbSize int, m Metric) (Result, error) {
 	if numSB <= 0 || sbSize <= 0 {
 		return Result{}, fmt.Errorf("pattern: invalid geometry %d×%d", numSB, sbSize)
 	}
@@ -77,24 +94,39 @@ func Analyze(block []float64, numSB, sbSize int, m Metric) (Result, error) {
 		return Result{}, fmt.Errorf("pattern: block has %d points, geometry wants %d×%d=%d",
 			len(block), numSB, sbSize, numSB*sbSize)
 	}
+	sc.scales = growF64(sc.scales, numSB) //lint:hotalloc-ok grows once to the session geometry, then reused
 	switch m {
 	case FR, ER:
-		return analyzePointRatio(block, numSB, sbSize, m), nil
-	case AR:
-		return analyzeAggregate(block, numSB, sbSize, mean, false), nil
-	case AAR:
-		return analyzeAggregate(block, numSB, sbSize, meanAbs, true), nil
-	case IS:
-		return analyzeAggregate(block, numSB, sbSize, valueRange, true), nil
+		return analyzePointRatio(block, numSB, sbSize, m, sc.scales), nil
+	case AR, AAR, IS:
+		sc.aggs = growF64(sc.aggs, numSB) //lint:hotalloc-ok grows once to the session geometry, then reused
+		switch m {
+		case AR:
+			return analyzeAggregate(block, numSB, sbSize, mean, false, sc.scales, sc.aggs), nil
+		case AAR:
+			return analyzeAggregate(block, numSB, sbSize, meanAbs, true, sc.scales, sc.aggs), nil
+		default:
+			return analyzeAggregate(block, numSB, sbSize, valueRange, true, sc.scales, sc.aggs), nil
+		}
 	default:
 		return Result{}, fmt.Errorf("pattern: unknown metric %v", m)
 	}
 }
 
+// growF64 returns s resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // analyzePointRatio implements FR and ER: the scaling coefficient of each
 // sub-block is the ratio of its value at a fixed reference position to
-// the pattern's value there.
-func analyzePointRatio(block []float64, numSB, sbSize int, m Metric) Result {
+// the pattern's value there. scales is caller-owned storage of length
+// numSB.
+func analyzePointRatio(block []float64, numSB, sbSize int, m Metric, scales []float64) Result {
 	// Select the pattern.
 	patIdx, refPos := 0, 0
 	switch m {
@@ -111,19 +143,52 @@ func analyzePointRatio(block []float64, numSB, sbSize int, m Metric) Result {
 		refPos = 0
 	case ER:
 		// Sub-block containing the block extremum; reference is the
-		// extremum's intra-sub-block position.
-		best := -1.0
-		for i, x := range block {
-			a := math.Abs(x)
-			if a > best {
-				best = a
-				patIdx = i / sbSize
-				refPos = i % sbSize
+		// extremum's intra-sub-block position. The scan is the hottest
+		// loop of compression (it touches every point), so it runs as
+		// four independent lanes: each lane keeps the first strict
+		// maximum of its stride, and the merge prefers the smaller
+		// index on equal magnitudes — together that reproduces the
+		// sequential first-strict-max exactly (NaNs included: NaN
+		// compares false against every lane best, so it is never
+		// selected, same as a sequential `>` scan).
+		b0, b1, b2, b3 := -1.0, -1.0, -1.0, -1.0
+		i0, i1, i2, i3 := 0, 0, 0, 0
+		n := len(block)
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			if a := math.Abs(block[i]); a > b0 {
+				b0, i0 = a, i
+			}
+			if a := math.Abs(block[i+1]); a > b1 {
+				b1, i1 = a, i+1
+			}
+			if a := math.Abs(block[i+2]); a > b2 {
+				b2, i2 = a, i+2
+			}
+			if a := math.Abs(block[i+3]); a > b3 {
+				b3, i3 = a, i+3
 			}
 		}
+		// Tail folds into lane 0: its indices exceed every stored one,
+		// and strict `>` keeps the earlier occurrence.
+		for ; i < n; i++ {
+			if a := math.Abs(block[i]); a > b0 {
+				b0, i0 = a, i
+			}
+		}
+		best, idx := b0, i0
+		if b1 > best || (b1 == best && i1 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
+			best, idx = b1, i1
+		}
+		if b2 > best || (b2 == best && i2 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
+			best, idx = b2, i2
+		}
+		if b3 > best || (b3 == best && i3 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
+			idx = i3
+		}
+		patIdx, refPos = idx/sbSize, idx%sbSize
 	}
 	ref := block[patIdx*sbSize+refPos]
-	scales := make([]float64, numSB)
 	for s := 0; s < numSB; s++ {
 		scales[s] = safeRatio(block[s*sbSize+refPos], ref)
 	}
@@ -135,8 +200,8 @@ func analyzePointRatio(block []float64, numSB, sbSize int, m Metric) Result {
 // sub-block maximizing |agg|, and each coefficient is the ratio of
 // aggregates, optionally sign-corrected so that the scaled pattern has
 // the same polarity as the sub-block (Fig. 4 "requires sign correction").
-func analyzeAggregate(block []float64, numSB, sbSize int, agg func([]float64) float64, signCorrect bool) Result {
-	aggs := make([]float64, numSB)
+// scales and aggs are caller-owned storage of length numSB.
+func analyzeAggregate(block []float64, numSB, sbSize int, agg func([]float64) float64, signCorrect bool, scales, aggs []float64) Result {
 	patIdx, best := 0, -1.0
 	for s := 0; s < numSB; s++ {
 		aggs[s] = agg(block[s*sbSize : (s+1)*sbSize])
@@ -147,7 +212,6 @@ func analyzeAggregate(block []float64, numSB, sbSize int, agg func([]float64) fl
 	}
 	ref := aggs[patIdx]
 	pat := block[patIdx*sbSize : (patIdx+1)*sbSize]
-	scales := make([]float64, numSB)
 	for s := 0; s < numSB; s++ {
 		c := safeRatio(aggs[s], ref)
 		if signCorrect && s != patIdx {
@@ -219,13 +283,22 @@ func dot(a, b []float64) float64 {
 // Deviations returns, for diagnostic purposes, the residuals
 // data − S·P for every point in the block under the given analysis.
 func Deviations(block []float64, numSB, sbSize int, res Result) []float64 {
+	return DeviationsInto(make([]float64, 0, len(block)), block, numSB, sbSize, res)
+}
+
+// DeviationsInto appends the residuals data − S·P for every point in
+// the block to dst and returns the extended slice; with sufficient
+// capacity it does not allocate.
+//
+//pastri:hotpath
+func DeviationsInto(dst []float64, block []float64, numSB, sbSize int, res Result) []float64 {
 	pat := block[res.PatternIndex*sbSize : (res.PatternIndex+1)*sbSize]
-	out := make([]float64, len(block))
 	for s := 0; s < numSB; s++ {
 		c := res.Scales[s]
-		for i := 0; i < sbSize; i++ {
-			out[s*sbSize+i] = block[s*sbSize+i] - c*pat[i]
+		sb := block[s*sbSize : (s+1)*sbSize]
+		for i, x := range sb {
+			dst = append(dst, x-c*pat[i]) //lint:hotalloc-ok callers pass pre-sized dst; the append is in-place
 		}
 	}
-	return out
+	return dst
 }

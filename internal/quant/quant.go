@@ -14,6 +14,7 @@ package quant
 
 import (
 	"math"
+	"math/bits"
 )
 
 // Quantize maps x onto the integer grid with the given bin size.
@@ -36,17 +37,7 @@ func BitsForValue(v int64) uint {
 	if v < 0 {
 		v = -v
 	}
-	return uint(bitLen(uint64(v))) + 1
-}
-
-// bitLen returns the number of bits in the binary representation of u.
-func bitLen(u uint64) int {
-	n := 0
-	for u != 0 {
-		u >>= 1
-		n++
-	}
-	return n
+	return uint(bits.Len64(uint64(v))) + 1
 }
 
 // BitsForRange returns the fixed-length symbol width needed for a signed
@@ -80,7 +71,30 @@ func PatternBits(pExt, eb float64) uint {
 // bits. Scale coefficients lie in [-1, 1] (range 2), so the bin size is
 // 2 / 2^sb = 2^(1-sb).
 func ScaleBinSize(sb uint) float64 {
+	if sb >= 1 && sb <= 1023 {
+		// 2^(1-sb) with 1-sb in [-1022, 0] is a normal float, so it can
+		// be built directly: biased exponent (1-sb)+1023, zero mantissa.
+		return math.Float64frombits(uint64(1024-sb) << 52)
+	}
 	return math.Ldexp(1, 1-int(sb))
+}
+
+// Exponent returns the binary exponent exp such that v = frac × 2^exp
+// with |frac| ∈ [0.5, 1), exactly as math.Frexp reports it (including
+// the exp = 0 convention for ±0, ±Inf and NaN), extracted straight from
+// the IEEE-754 bits instead of through Frexp's normalize-and-split.
+func Exponent(v float64) int {
+	b := math.Float64bits(v) &^ (1 << 63)
+	e := int(b >> 52)
+	switch {
+	case e == 0x7ff || b == 0:
+		return 0
+	case e != 0:
+		return e - 1022
+	default:
+		// Denormal: v = mantissa × 2^-1074 with mantissa < 2^52.
+		return bits.Len64(b) - 1074
+	}
 }
 
 // ClampSigned limits q to the representable two's-complement range of

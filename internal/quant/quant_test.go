@@ -2,6 +2,7 @@ package quant
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -127,5 +128,39 @@ func TestMaxAbs(t *testing.T) {
 	v, i = MaxAbs([]float64{0, 0})
 	if v != 0 || i != 0 {
 		t.Errorf("MaxAbs(zeros) = %g at %d", v, i)
+	}
+}
+
+// TestExponentMatchesFrexp pins the bit-extraction exponent against
+// math.Frexp across normals, denormals and the special values.
+func TestExponentMatchesFrexp(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 2, 1e-300, -1e300,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 5e-324 * 12345, // a mid-range denormal
+		0x1p-1022, 0x1p-1022 / 2, 0x1.fffffffffffffp-1023,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		cases = append(cases, math.Float64frombits(rng.Uint64()))
+	}
+	for _, v := range cases {
+		_, want := math.Frexp(v)
+		if got := Exponent(v); got != want {
+			t.Fatalf("Exponent(%g / %#x) = %d, want %d", v, math.Float64bits(v), got, want)
+		}
+	}
+}
+
+// TestScaleBinSizeMatchesLdexp pins the direct-bits construction against
+// the Ldexp reference for every plausible scale width and beyond.
+func TestScaleBinSizeMatchesLdexp(t *testing.T) {
+	for sb := uint(0); sb <= 1100; sb++ {
+		want := math.Ldexp(1, 1-int(sb))
+		if got := ScaleBinSize(sb); got != want {
+			t.Fatalf("ScaleBinSize(%d) = %g (%#x), want %g (%#x)",
+				sb, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
 	}
 }
