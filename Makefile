@@ -9,7 +9,7 @@ FUZZTIME ?= 5s
 # PR; the floor leaves a small margin for refactors).
 COVER_THRESHOLD ?= 88.0
 
-.PHONY: build test vet lint race fuzz-smoke bench-smoke bench-json cover verify clean
+.PHONY: build test vet lint race fuzz-smoke bench-smoke bench-json bench-gate cover verify clean
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,25 @@ bench-json:
 		-flags '-benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) (kernel) / -benchtime=1x (figures)' \
 		< bench_current.txt
 
+# bench-gate: the perf-regression gate. Re-measures the tracked kernel
+# benchmarks quickly, converts them with benchjson, and compares their
+# medians against the committed BENCH_PR4.json "current" section with
+# cmd/benchdiff — a kernel whose median ns/op worsens by more than 10%
+# fails the build. The committed section must have been measured on a
+# comparable machine (refresh with `make bench-json` when hardware
+# changes); medians over BENCH_GATE_COUNT runs absorb scheduler noise.
+BENCH_GATE_TIME ?= 1s
+BENCH_GATE_COUNT ?= 3
+BENCH_GATE_THRESHOLD ?= 10
+bench-gate:
+	@rm -f bench_gate.txt bench_gate.json
+	$(GO) test -run='^$$' -bench='$(KERNEL_BENCHES)' -benchmem \
+		-benchtime=$(BENCH_GATE_TIME) -count=$(BENCH_GATE_COUNT) -timeout=30m . > bench_gate.txt
+	$(GO) run ./cmd/benchjson -label gate < bench_gate.txt > bench_gate.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_GATE_THRESHOLD) -noise 5 \
+		BENCH_PR4.json:current bench_gate.json:gate
+	@rm -f bench_gate.txt bench_gate.json
+
 # cover: combined coverage of the codec core (internal/core +
 # internal/encoding) over their own tests plus the public-API suite;
 # fails below COVER_THRESHOLD so future PRs can't silently shed tests.
@@ -84,9 +103,9 @@ cover:
 			printf "combined core+encoding coverage: %s%% (floor $(COVER_THRESHOLD)%%)\n", pct; \
 			if (pct + 0 < $(COVER_THRESHOLD)) { exit 1 } }'
 
-verify: build test vet lint race fuzz-smoke bench-smoke cover
+verify: build test vet lint race fuzz-smoke bench-smoke bench-gate cover
 	@echo "verify: OK"
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz cover.out bench_current.txt
+	rm -rf internal/*/testdata/fuzz cover.out bench_current.txt bench_gate.txt bench_gate.json

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc serializes a single-section document for fixture use.
+func writeDoc(t *testing.T, path, label string, results []Result) {
+	t.Helper()
+	doc := Document{Sections: map[string]*Section{label: {Date: "2026-01-01", Go: "go1.24.0", Results: results}}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func res(name string, nsop float64) Result {
+	return Result{Name: name, Procs: 1, N: 100, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestSelfComparisonPasses(t *testing.T) {
+	// The committed baseline compared against itself must gate clean:
+	// every delta is exactly zero.
+	var sb strings.Builder
+	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5}
+	if err := run(o, "../../BENCH_PR4.json", "../../BENCH_PR4.json", &sb); err != nil {
+		t.Fatalf("self comparison failed: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "benchmarks compared") {
+		t.Fatalf("missing summary line in output:\n%s", sb.String())
+	}
+}
+
+func TestTwentyPercentRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// Three repetitions each so the median reduction is exercised; the
+	// new medians are 20% slower.
+	writeDoc(t, oldPath, "current", []Result{
+		res("BenchmarkKernel", 100), res("BenchmarkKernel", 102), res("BenchmarkKernel", 98),
+		res("BenchmarkOther", 50), res("BenchmarkOther", 50),
+	})
+	writeDoc(t, newPath, "current", []Result{
+		res("BenchmarkKernel", 120), res("BenchmarkKernel", 121), res("BenchmarkKernel", 119),
+		res("BenchmarkOther", 50), res("BenchmarkOther", 50),
+	})
+	var sb strings.Builder
+	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5}
+	err := run(o, oldPath, newPath, &sb)
+	if err == nil {
+		t.Fatalf("expected regression failure, got success:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkKernel") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkOther") {
+		t.Fatalf("unchanged benchmark reported as regressed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("table lacks REGRESSION verdict:\n%s", sb.String())
+	}
+}
+
+func TestNoiseBandTolerated(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, "current", []Result{res("BenchmarkKernel", 100)})
+	writeDoc(t, newPath, "current", []Result{res("BenchmarkKernel", 104)})
+	var sb strings.Builder
+	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5}
+	if err := run(o, oldPath, newPath, &sb); err != nil {
+		t.Fatalf("4%% drift within the noise band must pass: %v", err)
+	}
+}
+
+func TestRateMetricDirectionInverted(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	mk := func(v float64) []Result {
+		return []Result{{Name: "BenchmarkKernel", Procs: 1, N: 10, Metrics: map[string]float64{"MB/s": v}}}
+	}
+	writeDoc(t, oldPath, "current", mk(400))
+	writeDoc(t, newPath, "current", mk(300)) // throughput collapsed 25%
+	var sb strings.Builder
+	o := diffOpts{metric: "MB/s", threshold: 10, noise: 5}
+	if err := run(o, oldPath, newPath, &sb); err == nil {
+		t.Fatalf("25%% throughput drop must fail the MB/s gate:\n%s", sb.String())
+	}
+	// And a throughput *increase* of the same size must pass.
+	writeDoc(t, newPath, "current", mk(500))
+	sb.Reset()
+	if err := run(o, oldPath, newPath, &sb); err != nil {
+		t.Fatalf("throughput improvement flagged as regression: %v", err)
+	}
+}
+
+func TestLabelSelectionAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	doc := Document{Sections: map[string]*Section{
+		"baseline": {Results: []Result{res("BenchmarkKernel", 100)}},
+		"current":  {Results: []Result{res("BenchmarkKernel", 150)}},
+	}}
+	b, _ := json.Marshal(doc)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5}
+	var sb strings.Builder
+	if err := run(o, path+":baseline", path+":current", &sb); err == nil {
+		t.Fatal("50% regression across labels must fail")
+	}
+	if err := run(o, path+":nosuch", path, &sb); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("missing-label error not surfaced: %v", err)
+	}
+	if err := run(o, filepath.Join(dir, "absent.json"), path, &sb); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestBenchFilter(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, "current", []Result{res("BenchmarkKernel", 100), res("BenchmarkSlow", 100)})
+	writeDoc(t, newPath, "current", []Result{res("BenchmarkKernel", 100), res("BenchmarkSlow", 200)})
+	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5, bench: "^BenchmarkKernel$"}
+	var sb strings.Builder
+	if err := run(o, oldPath, newPath, &sb); err != nil {
+		t.Fatalf("filtered-out regression must not gate: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -27,19 +28,54 @@ import (
 
 func main() {
 	var (
-		mol    = flag.String("mol", "water", "molecule: h2|water|benzene|glutamine|trialanine|li|h")
-		store  = flag.String("store", "memory", "ERI strategy: memory|direct|pastri|blocked")
-		eb     = flag.Float64("eb", 1e-10, "error bound for compressed stores")
-		charge = flag.Int("charge", 0, "net charge")
-		mult   = flag.Int("mult", 1, "spin multiplicity (with -uhf)")
-		uhf    = flag.Bool("uhf", false, "run unrestricted HF")
-		mp2    = flag.Bool("mp2", false, "add the MP2 correlation energy (RHF only)")
+		mol      = flag.String("mol", "water", "molecule: h2|water|benzene|glutamine|trialanine|li|h")
+		store    = flag.String("store", "memory", "ERI strategy: memory|direct|pastri|blocked")
+		eb       = flag.Float64("eb", 1e-10, "error bound for compressed stores")
+		charge   = flag.Int("charge", 0, "net charge")
+		mult     = flag.Int("mult", 1, "spin multiplicity (with -uhf)")
+		uhf      = flag.Bool("uhf", false, "run unrestricted HF")
+		mp2      = flag.Bool("mp2", false, "add the MP2 correlation energy (RHF only)")
+		logMode  = flag.String("log", "off", "structured compression logs to stderr: text|json|off")
+		logLevel = flag.String("loglevel", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
-	if err := run(*mol, *store, *eb, *charge, *mult, *uhf, *mp2); err != nil {
+	logger, err := newLogger(*logMode, *logLevel)
+	if err == nil {
+		err = run(*mol, *store, *eb, *charge, *mult, *uhf, *mp2, logger)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hfrun: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the -log/-loglevel slog.Logger; mode "off" returns
+// nil, which the compression pipeline treats as logging disabled.
+func newLogger(mode, level string) (*slog.Logger, error) {
+	if mode == "" || mode == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -loglevel %q (want debug|info|warn|error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log %q (want text|json|off)", mode)
 }
 
 func moleculeByName(name string) (basis.Molecule, error) {
@@ -62,7 +98,7 @@ func moleculeByName(name string) (basis.Molecule, error) {
 	return basis.Molecule{}, fmt.Errorf("unknown molecule %q", name)
 }
 
-func run(molName, store string, eb float64, charge, mult int, uhf, mp2 bool) error {
+func run(molName, store string, eb float64, charge, mult int, uhf, mp2 bool, logger *slog.Logger) error {
 	mol, err := moleculeByName(molName)
 	if err != nil {
 		return err
@@ -78,7 +114,7 @@ func run(molName, store string, eb float64, charge, mult int, uhf, mp2 bool) err
 		if uhf {
 			return fmt.Errorf("blocked store supports RHF only")
 		}
-		bst, err := hf.NewBlockedStore(bs, eb)
+		bst, err := hf.NewBlockedStoreLogged(bs, eb, logger)
 		if err != nil {
 			return err
 		}
@@ -100,7 +136,7 @@ func run(molName, store string, eb float64, charge, mult int, uhf, mp2 bool) err
 	case "direct":
 		src = &hf.DirectSource{BS: bs}
 	case "pastri":
-		cs, err := hf.NewCompressedSource(bs, eb)
+		cs, err := hf.NewCompressedSourceLogged(bs, eb, logger)
 		if err != nil {
 			return err
 		}

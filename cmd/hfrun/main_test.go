@@ -4,35 +4,35 @@ import "testing"
 
 func TestRunWaterAllStores(t *testing.T) {
 	for _, store := range []string{"memory", "direct", "pastri", "blocked"} {
-		if err := run("water", store, 1e-10, 0, 1, false, false); err != nil {
+		if err := run("water", store, 1e-10, 0, 1, false, false, nil); err != nil {
 			t.Errorf("store %s: %v", store, err)
 		}
 	}
 }
 
 func TestRunMP2AndUHF(t *testing.T) {
-	if err := run("water", "memory", 1e-10, 0, 1, false, true); err != nil {
+	if err := run("water", "memory", 1e-10, 0, 1, false, true, nil); err != nil {
 		t.Errorf("mp2: %v", err)
 	}
-	if err := run("li", "memory", 1e-10, 0, 2, true, false); err != nil {
+	if err := run("li", "memory", 1e-10, 0, 2, true, false, nil); err != nil {
 		t.Errorf("uhf: %v", err)
 	}
-	if err := run("h", "memory", 1e-10, 0, 2, true, false); err != nil {
+	if err := run("h", "memory", 1e-10, 0, 2, true, false, nil); err != nil {
 		t.Errorf("uhf h atom: %v", err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("unobtainium", "memory", 1e-10, 0, 1, false, false); err == nil {
+	if err := run("unobtainium", "memory", 1e-10, 0, 1, false, false, nil); err == nil {
 		t.Error("unknown molecule accepted")
 	}
-	if err := run("water", "floppy", 1e-10, 0, 1, false, false); err == nil {
+	if err := run("water", "floppy", 1e-10, 0, 1, false, false, nil); err == nil {
 		t.Error("unknown store accepted")
 	}
-	if err := run("water", "blocked", 1e-10, 0, 1, true, false); err == nil {
+	if err := run("water", "blocked", 1e-10, 0, 1, true, false, nil); err == nil {
 		t.Error("blocked+UHF accepted")
 	}
-	if err := run("water", "memory", 1e-10, 1, 1, false, false); err == nil {
+	if err := run("water", "memory", 1e-10, 1, 1, false, false, nil); err == nil {
 		t.Error("odd electron count accepted for RHF")
 	}
 }

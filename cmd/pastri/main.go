@@ -16,9 +16,23 @@
 //	-stats           print a per-stage/per-encoding summary after the run
 //	-statsjson PATH  write the full telemetry snapshot as JSON ("-" = stdout)
 //	-trace           print the per-block trace ring (most recent blocks)
-//	-pprof ADDR      serve net/http/pprof and expvar (/debug/pprof,
-//	                 /debug/vars with the live "pastri" snapshot) during
-//	                 the run, e.g. -pprof localhost:6060
+//	-pprof ADDR      serve net/http/pprof, expvar and Prometheus text
+//	                 format (/debug/pprof, /debug/vars with the live
+//	                 "pastri" snapshot, /metrics) during the run,
+//	                 e.g. -pprof localhost:6060
+//	-metricsout PATH write a final Prometheus text-format scrape to PATH
+//	-log MODE        structured logs to stderr: text, json, or off
+//	-loglevel LEVEL  log level: debug (per-block records), info, warn, error
+//	-audit           re-decode every block and verify the absolute error
+//	                 bound (compression audits its own output; -d needs
+//	                 -auditorig with the original raw file); violations
+//	                 count into telemetry and fail the run
+//	-flight DIR      attach the quality flight recorder; anomaly
+//	                 artifacts (JSON, replayable via zcheck -flight) are
+//	                 written under DIR
+//	-flightslack EB  flight-recorder slack floor: blocks whose eb slack
+//	                 falls below this trip an eb_violation anomaly
+//	                 (default 0 = genuine violations only)
 package main
 
 import (
@@ -27,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -39,6 +54,7 @@ import (
 	"text/tabwriter"
 
 	pastri "repro"
+	"repro/internal/zcheck"
 )
 
 func main() {
@@ -56,7 +72,14 @@ func main() {
 		stats      = flag.Bool("stats", false, "print per-stage/per-encoding telemetry after the run")
 		statsJSON  = flag.String("statsjson", "", "write telemetry snapshot JSON to this path (\"-\" = stdout)")
 		trace      = flag.Bool("trace", false, "print the per-block trace ring after the run")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address during the run")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address during the run")
+		metricsOut = flag.String("metricsout", "", "write a final Prometheus text-format scrape to this path (\"-\" = stdout)")
+		logMode    = flag.String("log", "off", "structured logging to stderr: text|json|off")
+		logLevel   = flag.String("loglevel", "info", "log level: debug|info|warn|error")
+		audit      = flag.Bool("audit", false, "re-decode every block and verify the absolute error bound")
+		auditOrig  = flag.String("auditorig", "", "original raw float64 file for -d -audit")
+		flightDir  = flag.String("flight", "", "write flight-recorder anomaly artifacts under this directory")
+		flightEB   = flag.Float64("flightslack", 0, "flight-recorder eb-slack floor (0 = genuine violations only)")
 	)
 	flag.Parse()
 	o := cliOpts{
@@ -64,6 +87,9 @@ func main() {
 		numSB: *numSB, sbSize: *sbSize, eb: *eb, metric: *metric,
 		inPath: *inPath, outPath: *outPath, workers: *workers,
 		stats: *stats, statsJSON: *statsJSON, trace: *trace, pprofAddr: *pprofAddr,
+		metricsOut: *metricsOut, logMode: *logMode, logLevel: *logLevel,
+		audit: *audit, auditOrig: *auditOrig,
+		flightDir: *flightDir, flightSlack: *flightEB,
 		stdout: os.Stdout,
 	}
 	if err := run(o); err != nil {
@@ -82,18 +108,66 @@ type cliOpts struct {
 	inPath, outPath            string
 	workers                    int
 
-	stats     bool
-	statsJSON string
-	trace     bool
-	pprofAddr string
+	stats       bool
+	statsJSON   string
+	trace       bool
+	pprofAddr   string
+	metricsOut  string
+	logMode     string
+	logLevel    string
+	audit       bool
+	auditOrig   string
+	flightDir   string
+	flightSlack float64
 
 	stdout io.Writer
+	logw   io.Writer // structured-log sink; nil ⇒ os.Stderr
 }
 
 // collecting reports whether any observability flag needs a live
 // collector.
 func (o cliOpts) collecting() bool {
-	return o.stats || o.statsJSON != "" || o.trace || o.pprofAddr != ""
+	return o.stats || o.statsJSON != "" || o.trace || o.pprofAddr != "" ||
+		o.metricsOut != "" || o.audit || o.flightDir != "" || o.flightEnabled()
+}
+
+// flightEnabled reports whether a flight recorder should be attached.
+func (o cliOpts) flightEnabled() bool {
+	return o.flightDir != "" || o.flightSlack != 0 //lint:floatcmp-ok exact zero is the flag's "disabled" sentinel, never computed
+}
+
+// newLogger builds the slog.Logger requested by -log/-loglevel; mode
+// "off" (the default) returns nil, which every log site treats as one
+// untaken branch.
+func (o cliOpts) newLogger() (*slog.Logger, error) {
+	if o.logMode == "" || o.logMode == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch o.logLevel {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -loglevel %q (want debug|info|warn|error)", o.logLevel)
+	}
+	w := o.logw
+	if w == nil {
+		w = os.Stderr
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch o.logMode {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, hopts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log %q (want text|json|off)", o.logMode)
 }
 
 func run(o cliOpts) error {
@@ -117,9 +191,20 @@ func run(o cliOpts) error {
 		return err
 	}
 
+	logger, err := o.newLogger()
+	if err != nil {
+		return err
+	}
 	var col *pastri.Collector
 	if o.collecting() {
 		col = pastri.NewCollector()
+	}
+	if o.flightEnabled() {
+		col.AttachFlight(pastri.NewFlightRecorder(pastri.FlightConfig{
+			Dir:        o.flightDir,
+			ErrorBound: o.eb,
+			SlackFloor: o.flightSlack,
+		}))
 	}
 	if o.pprofAddr != "" {
 		ln, err := startDebugServer(o.pprofAddr, col)
@@ -161,6 +246,7 @@ func run(o cliOpts) error {
 		opts := pastri.NewOptions(o.numSB, o.sbSize, o.eb)
 		opts.Workers = o.workers
 		opts.Collector = col
+		opts.Logger = logger
 		var ok bool
 		if opts.Metric, ok = metricByName(o.metric); !ok {
 			return fmt.Errorf("unknown metric %q", o.metric)
@@ -175,13 +261,20 @@ func run(o cliOpts) error {
 		fmt.Fprintf(o.stdout, "%d blocks, %d -> %d bytes (ratio %.2f); types %v\n",
 			stats.Blocks, len(in), len(comp), float64(len(in))/float64(len(comp)),
 			stats.TypeCount)
-		return emitTelemetry(o, col)
+		var auditErr error
+		if o.audit {
+			auditErr = auditStream(o, comp, data, col)
+		}
+		if err := emitTelemetry(o, col); err != nil {
+			return err
+		}
+		return auditErr
 
 	default: // decompress
 		if o.outPath == "" {
 			return fmt.Errorf("-out is required")
 		}
-		data, err := pastri.DecompressCollect(in, o.workers, col)
+		data, err := pastri.DecompressLogged(in, o.workers, col, logger)
 		if err != nil {
 			return err
 		}
@@ -193,8 +286,85 @@ func run(o cliOpts) error {
 			return err
 		}
 		fmt.Fprintf(o.stdout, "%d -> %d bytes\n", len(in), len(out))
-		return emitTelemetry(o, col)
+		var auditErr error
+		if o.audit {
+			if o.auditOrig == "" {
+				return fmt.Errorf("-d -audit needs -auditorig with the original raw float64 file")
+			}
+			orig, err := readFloat64File(o.auditOrig)
+			if err != nil {
+				return err
+			}
+			auditErr = auditStream(o, in, orig, col)
+		}
+		if err := emitTelemetry(o, col); err != nil {
+			return err
+		}
+		return auditErr
 	}
+}
+
+// readFloat64File loads a raw little-endian float64 file.
+func readFloat64File(path string) ([]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of 8", path, len(b))
+	}
+	data := make([]float64, len(b)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return data, nil
+}
+
+// auditStream independently re-decodes every block of comp through the
+// random-access reader and verifies it against the corresponding block
+// of original with internal/zcheck, using the bound recorded in the
+// stream itself. Violations count into the collector's eb_violations
+// telemetry and fail the run — this is the operator's end-to-end proof
+// that the hard error bound held, priced at one extra decode pass.
+func auditStream(o cliOpts, comp []byte, original []float64, col *pastri.Collector) error {
+	info, err := pastri.Inspect(comp)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	br, err := pastri.NewBlockReader(comp)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	bs := br.BlockSize()
+	if len(original) != br.NumBlocks()*bs {
+		return fmt.Errorf("audit: original has %d values, stream decodes to %d", len(original), br.NumBlocks()*bs)
+	}
+	bound := info.Options.ErrorBound
+	buf := make([]float64, bs)
+	maxErr := 0.0
+	violations := 0
+	for b := 0; b < br.NumBlocks(); b++ {
+		if err := br.ReadBlock(b, buf); err != nil {
+			return fmt.Errorf("audit: block %d: %w", b, err)
+		}
+		rep, err := zcheck.Assess(original[b*bs:(b+1)*bs], buf, br.CompressedBlockBytes(b), bound)
+		if err != nil {
+			return fmt.Errorf("audit: block %d: %w", b, err)
+		}
+		if rep.MaxAbsErr > maxErr {
+			maxErr = rep.MaxAbsErr
+		}
+		if rep.BoundViolated {
+			violations++
+		}
+	}
+	col.AddEBViolations(violations)
+	fmt.Fprintf(o.stdout, "audit: %d blocks, max abs err %.3e (bound %g), violations %d\n",
+		br.NumBlocks(), maxErr, bound, violations)
+	if violations > 0 {
+		return fmt.Errorf("audit: %d of %d blocks violate the error bound %g", violations, br.NumBlocks(), bound)
+	}
+	return nil
 }
 
 // emitTelemetry renders the collector per the -stats/-statsjson/-trace
@@ -220,7 +390,42 @@ func emitTelemetry(o cliOpts, col *pastri.Collector) error {
 			return err
 		}
 	}
+	if o.metricsOut != "" {
+		if err := writeMetrics(o, col); err != nil {
+			return err
+		}
+	}
+	if fr := col.Flight(); fr != nil {
+		for reason, n := range snap.FlightAnomalies {
+			fmt.Fprintf(o.stdout, "flight: %d %s anomalies\n", n, reason)
+		}
+		for _, p := range fr.ArtifactPaths() {
+			fmt.Fprintf(o.stdout, "flight artifact: %s\n", p)
+		}
+		if err := fr.Err(); err != nil {
+			return fmt.Errorf("flight recorder: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeMetrics renders one final Prometheus text-format scrape to the
+// -metricsout path ("-" = stdout) — the same bytes /metrics would
+// serve, but file-shaped so batch runs and CI can archive a scrape
+// without racing a short-lived debug server.
+func writeMetrics(o cliOpts, col *pastri.Collector) error {
+	if o.metricsOut == "-" {
+		return col.WritePrometheus(o.stdout)
+	}
+	f, err := os.Create(o.metricsOut)
+	if err != nil {
+		return err
+	}
+	if err := col.WritePrometheus(f); err != nil {
+		f.Close() //lint:errdrop-ok the write error is already being reported
+		return err
+	}
+	return f.Close()
 }
 
 // printStats renders the human-readable telemetry summary: byte
@@ -298,15 +503,16 @@ var (
 
 // startDebugServer serves DefaultServeMux — which net/http/pprof and
 // expvar populate with /debug/pprof and /debug/vars — on addr, and
-// exposes col as the "pastri" expvar. The returned listener reports
-// the bound address (useful with ":0") and stops the server when
-// closed.
+// exposes col as the "pastri" expvar plus a Prometheus text-format
+// /metrics endpoint. The returned listener reports the bound address
+// (useful with ":0") and stops the server when closed.
 func startDebugServer(addr string, col *pastri.Collector) (net.Listener, error) {
 	activeCollector.Store(col)
 	publishOnce.Do(func() {
 		expvar.Publish("pastri", expvar.Func(func() any {
 			return activeCollector.Load().Snapshot()
 		}))
+		http.Handle("/metrics", pastri.MetricsHandler(activeCollector.Load))
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

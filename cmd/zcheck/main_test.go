@@ -63,6 +63,59 @@ func TestZCheckPaSTRIStream(t *testing.T) {
 	}
 }
 
+// TestZCheckFlightReplay drives -flight against recorder-written
+// artifacts: a genuine bound break must exit non-zero, an anomaly whose
+// bound held (slack-floor injection) must pass, and a decode-side
+// artifact with no captured data must be reported as unreplayable.
+func TestZCheckFlightReplay(t *testing.T) {
+	eb := 1e-10
+	mkArtifact := func(dir string, cfg pastri.FlightConfig, emit func(col *pastri.Collector)) string {
+		t.Helper()
+		cfg.Dir = dir
+		col := pastri.NewCollector()
+		fr := pastri.NewFlightRecorder(cfg)
+		col.AttachFlight(fr)
+		emit(col)
+		paths := fr.ArtifactPaths()
+		if len(paths) != 1 {
+			t.Fatalf("artifacts = %v, want exactly one", paths)
+		}
+		return paths[0]
+	}
+
+	violation := mkArtifact(t.TempDir(), pastri.FlightConfig{ErrorBound: eb},
+		func(col *pastri.Collector) {
+			col.RecordBlockData(pastri.TraceRecord{BytesIn: 32, BytesOut: 8, EBSlack: -2 * eb},
+				[]float64{1, 2, 3, 4}, []float64{1, 2, 3 + 3*eb, 4})
+		})
+	if err := runFlight(violation, 0); err == nil {
+		t.Error("genuine bound break replayed clean")
+	}
+
+	injected := mkArtifact(t.TempDir(), pastri.FlightConfig{ErrorBound: eb, SlackFloor: 1},
+		func(col *pastri.Collector) {
+			col.RecordBlockData(pastri.TraceRecord{BytesIn: 32, BytesOut: 8, EBSlack: eb / 2},
+				[]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+		})
+	if err := runFlight(injected, 0); err != nil {
+		t.Errorf("slack-floor anomaly (bound held) failed replay: %v", err)
+	}
+
+	decodeSide := mkArtifact(t.TempDir(), pastri.FlightConfig{Warmup: 2},
+		func(col *pastri.Collector) {
+			col.RecordDecodedBlock(10, 80)
+			col.RecordDecodedBlock(10, 80)
+			col.RecordDecodedBlock(79, 80)
+		})
+	if err := runFlight(decodeSide, 0); err != nil {
+		t.Errorf("decode-side artifact must replay as a no-op: %v", err)
+	}
+
+	if err := runFlight(filepath.Join(t.TempDir(), "absent.json"), 0); err == nil {
+		t.Error("missing artifact accepted")
+	}
+}
+
 func TestZCheckValidation(t *testing.T) {
 	dir := t.TempDir()
 	orig := filepath.Join(dir, "o.f64")

@@ -81,6 +81,7 @@ func All() []*Analyzer {
 		GoroutineCapture,
 		TelemetryDrop,
 		HotAlloc,
+		SlogKey,
 	}
 }
 

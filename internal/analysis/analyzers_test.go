@@ -36,6 +36,10 @@ func TestHotAlloc(t *testing.T) {
 	runFixture(t, HotAlloc, "hotalloc", fixtureModPath+"/internal/fixtures")
 }
 
+func TestSlogKey(t *testing.T) {
+	runFixture(t, SlogKey, "slogkey", fixtureModPath+"/internal/fixtures")
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"floatcmp", "nopanic"})
 	if err != nil || len(as) != 2 || as[0] != FloatCmp || as[1] != NoPanic {

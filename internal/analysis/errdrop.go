@@ -30,10 +30,10 @@ var ErrDrop = &Analyzer{
 // dropped. Module-local entries are path suffixes resolved against
 // Pass.ModPath.
 var errDropWatched = map[string]bool{
-	"io":     true,
-	"bufio":  true,
-	"os":     true,
-	"$MOD":   true, // the public façade (StreamWriter.Close flushes!)
+	"io":                      true,
+	"bufio":                   true,
+	"os":                      true,
+	"$MOD":                    true, // the public façade (StreamWriter.Close flushes!)
 	"$MOD/internal/bitio":     true,
 	"$MOD/internal/container": true,
 	"$MOD/internal/core":      true,

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// SlogKey enforces the structured-logging key contract: every slog
+// attribute constructor (slog.String, slog.Int, ...) takes a
+// compile-time constant key in lowercase_snake. Telemetry snapshots,
+// Prometheus labels and slog attributes all describe the same pipeline,
+// and dashboards join them by name — a key that is computed at run time
+// cannot be grepped for, and a "BytesIn"/"bytes-in" variant silently
+// forks the namespace. Deliberate exceptions carry //lint:slogkey-ok.
+var SlogKey = &Analyzer{
+	Name: "slogkey",
+	Doc:  "slog attribute keys must be constant lowercase_snake strings",
+	Run:  runSlogKey,
+}
+
+var slogKeyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// slogAttrCtors are the log/slog functions whose first argument is an
+// attribute key.
+var slogAttrCtors = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Duration": true, "Time": true,
+	"Any": true, "Group": true,
+}
+
+func runSlogKey(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !slogAttrCtors[sel.Sel.Name] {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "log/slog" {
+				return true
+			}
+			keyArg := call.Args[0]
+			tv := p.TypesInfo.Types[keyArg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				p.Reportf(keyArg.Pos(),
+					"slog.%s key is not a compile-time constant; use a literal lowercase_snake key so logs stay greppable",
+					sel.Sel.Name)
+				return true
+			}
+			key := constant.StringVal(tv.Value)
+			if !slogKeyRe.MatchString(key) {
+				p.Reportf(keyArg.Pos(),
+					"slog.%s key %q is not lowercase_snake (want %s)",
+					sel.Sel.Name, key, slogKeyRe)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package fixtures
+
+import (
+	"log/slog"
+	"time"
+)
+
+// True positives: non-snake keys and run-time keys.
+
+func badKeys(name string, d time.Duration) []slog.Attr {
+	return []slog.Attr{
+		slog.String("BytesIn", "x"),    // want "slog.String key \\\"BytesIn\\\" is not lowercase_snake"
+		slog.Int("bytes-out", 1),       // want "slog.Int key \\\"bytes-out\\\" is not lowercase_snake"
+		slog.Float64("ebSlack", 0.5),   // want "slog.Float64 key \\\"ebSlack\\\" is not lowercase_snake"
+		slog.Bool("1st", true),         // want "slog.Bool key \\\"1st\\\" is not lowercase_snake"
+		slog.Any("with space", nil),    // want "slog.Any key \\\"with space\\\" is not lowercase_snake"
+		slog.Duration(name, d),         // want "slog.Duration key is not a compile-time constant"
+		slog.String(keyFor("eb"), "x"), // want "slog.String key is not a compile-time constant"
+	}
+}
+
+func keyFor(s string) string { return s + "_key" }
+
+// Clean: literal and constant lowercase_snake keys.
+
+const ratioKey = "compression_ratio"
+
+func goodKeys() []slog.Attr {
+	return []slog.Attr{
+		slog.String("class", "4x16"),
+		slog.Int("bytes_in", 800),
+		slog.Uint64("block", 7),
+		slog.Float64(ratioKey, 8.0),
+		slog.Group("stage_timers", slog.Int("encode_ns", 1)),
+	}
+}
+
+// Clean: same method names on non-slog receivers are out of scope.
+
+type fake struct{}
+
+func (fake) String(key, v string) string { return key + v }
+
+func otherString() string {
+	var f fake
+	return f.String("NotSlog", "x")
+}
+
+// Clean: suppressed deliberate exception (external system's key).
+
+func suppressed() slog.Attr {
+	return slog.String("Content-Type", "text/plain") //lint:slogkey-ok mirrors the HTTP header name verbatim
+}

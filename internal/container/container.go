@@ -21,8 +21,10 @@
 package container
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 
@@ -160,6 +162,7 @@ func (w *Writer) compressSections() ([][]byte, error) {
 				return nil, err
 			}
 			streams[i] = stream
+			w.logSection(i, g, len(stream))
 		}
 		return streams, nil
 	}
@@ -191,6 +194,7 @@ func (w *Writer) compressSections() ([][]byte, error) {
 					return
 				}
 				streams[i] = stream
+				w.logSection(i, w.geos[i], len(stream))
 			}
 		}()
 	}
@@ -199,6 +203,27 @@ func (w *Writer) compressSections() ([][]byte, error) {
 		return nil, firstErr
 	}
 	return streams, nil
+}
+
+// logSection emits one Info record per compressed section: the section
+// index, its shell-quartet class, and the raw/compressed byte counts.
+// slog handlers are safe for concurrent use, so the parallel path logs
+// without extra locking.
+func (w *Writer) logSection(i int, g Geometry, streamBytes int) {
+	l := w.cfgBase.Logger
+	if l == nil || !l.Enabled(context.Background(), slog.LevelInfo) {
+		return
+	}
+	blocks := 0
+	if bs := g.BlockSize(); bs > 0 {
+		blocks = len(w.raw[i]) / bs
+	}
+	l.LogAttrs(context.Background(), slog.LevelInfo, "section compressed",
+		slog.Int("section", i),
+		slog.String("class", fmt.Sprintf("%dx%d", g.NumSB, g.SBSize)),
+		slog.Int("blocks", blocks),
+		slog.Int("bytes_in", len(w.raw[i])*8),
+		slog.Int("bytes_out", streamBytes))
 }
 
 // Reader decodes a container.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"repro/internal/bitio"
@@ -36,11 +38,15 @@ const (
 type BlockEncoder struct {
 	cfg Config
 	col *telemetry.Collector // from cfg; nil ⇒ no telemetry
+	// debugLog caches Logger.Enabled(Debug) at reset time so the
+	// per-block gate is one boolean test, not an interface call.
+	debugLog bool
 	// scratch arenas, sized once in reset and reused for every block
 	pq    []int64
 	sq    []int64
 	ecq   []int64
 	pHat  []float64
+	recon []float64 // flight-recorder capture arena; grown only when a recorder wants data
 	pat   pattern.Scratch
 	costs encoding.CostCounts // filled by analyze, priced in EncodeBlock
 	stats *Stats              // optional, may be nil
@@ -63,6 +69,7 @@ func NewBlockEncoder(cfg Config) (*BlockEncoder, error) {
 func (e *BlockEncoder) reset(cfg Config) {
 	e.cfg = cfg
 	e.col = cfg.Collector
+	e.debugLog = logEnabled(cfg.Logger, slog.LevelDebug)
 	e.stats = nil
 	e.pq = growI64(e.pq, cfg.SBSize)
 	e.sq = growI64(e.sq, cfg.NumSB)
@@ -250,7 +257,7 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 			w.BitLen()-ecqStart, // ECQ bits
 			uint64(pbFieldBits+ecbMaxFieldBits), usedSparse)
 	}
-	if e.col.Enabled() {
+	if e.col.Enabled() || e.debugLog {
 		kind := telemetry.EncType0
 		if ecbMax > 1 {
 			if usedSparse {
@@ -259,19 +266,23 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 				kind = telemetry.EncDense
 			}
 		}
-		e.recordTrace(block, pb, w.BitLen()-startBits, kind)
+		e.recordTrace(block, pb, ecbMax, w.BitLen()-startBits, kind)
 	}
 	return nil
 }
 
 // recordTrace computes the per-block trace record — exponent span,
-// chosen encoding, bytes in/out and error-bound slack — and hands it
-// to the collector. Only called when a collector is attached; the
-// slack recomputation reuses the scratch buffers analyze just filled
-// (pq via pHat, sq, ecq), so it costs one extra pass over the block.
-func (e *BlockEncoder) recordTrace(block []float64, pb uint, payloadBits uint64, kind telemetry.BlockEncoding) {
+// chosen encoding, ECQ summary, bytes in/out and error-bound slack —
+// and hands it to the collector. Only called when a collector is
+// attached; the slack recomputation reuses the scratch buffers analyze
+// just filled (pq via pHat, sq, ecq), so it costs one extra pass over
+// the block. When an attached flight recorder wants block data, the
+// same pass also materializes the reconstruction into the recon arena
+// so an anomaly can be captured for offline zcheck replay.
+func (e *BlockEncoder) recordTrace(block []float64, pb, ecbMax uint, payloadBits uint64, kind telemetry.BlockEncoding) {
 	cfg := e.cfg
 	minExp, maxExp, seen := 0, 0, false
+	ecqNonZero := 0
 	for _, v := range block {
 		if v == 0 { //lint:floatcmp-ok exact zero test selects values that have a binary exponent
 			continue
@@ -285,6 +296,19 @@ func (e *BlockEncoder) recordTrace(block []float64, pb uint, payloadBits uint64,
 			maxExp = exp
 		}
 	}
+	for _, q := range e.ecq {
+		if q != 0 {
+			ecqNonZero++
+		}
+	}
+	wantData := e.col.FlightWantsData()
+	var recon []float64
+	if wantData {
+		// Grown only on the flight-recorder path so the default
+		// telemetry path stays allocation-free after warmup.
+		e.recon = growFloat64(e.recon, cfg.BlockSize())
+		recon = e.recon
+	}
 	eb := cfg.ErrorBound
 	sBin := quant.ScaleBinSize(pb) // S_b = P_b
 	ecBin := 2 * eb
@@ -295,19 +319,35 @@ func (e *BlockEncoder) recordTrace(block []float64, pb uint, payloadBits uint64,
 		base := s * cfg.SBSize
 		for i := 0; i < cfg.SBSize; i++ {
 			rec := sHat*pHat[i] + quant.Dequantize(e.ecq[base+i], ecBin)
+			if recon != nil {
+				recon[base+i] = rec
+			}
 			if r := math.Abs(block[base+i] - rec); r > maxRes {
 				maxRes = r
 			}
 		}
 	}
-	e.col.RecordBlock(telemetry.TraceRecord{
-		SubBlocks: cfg.NumSB,
-		ExpSpan:   maxExp - minExp,
-		Encoding:  kind,
-		BytesIn:   len(block) * 8,
-		BytesOut:  int((payloadBits + 7) / 8),
-		EBSlack:   eb - maxRes,
-	})
+	id := e.col.RecordBlockData(telemetry.TraceRecord{
+		SubBlocks:  cfg.NumSB,
+		ExpSpan:    maxExp - minExp,
+		Encoding:   kind,
+		BytesIn:    len(block) * 8,
+		BytesOut:   int((payloadBits + 7) / 8),
+		EBSlack:    eb - maxRes,
+		ECQNonZero: ecqNonZero,
+		ECbMax:     int(ecbMax),
+	}, block, recon)
+	if e.debugLog {
+		e.cfg.Logger.LogAttrs(context.Background(), slog.LevelDebug, "block compressed",
+			slog.Uint64("block", id),
+			slog.String("class", quartetClass(cfg.NumSB, cfg.SBSize)),
+			slog.String("encoding", kind.String()),
+			slog.Int("bytes_in", len(block)*8),
+			slog.Int("bytes_out", int((payloadBits+7)/8)),
+			slog.Float64("eb_slack", eb-maxRes),
+			slog.Int("ecq_nonzero", ecqNonZero),
+			slog.Int("ecb_max", int(ecbMax)))
+	}
 }
 
 // BlockDecoder decompresses blocks, reusing scratch buffers. Not safe for

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"repro/internal/encoding"
@@ -54,6 +55,14 @@ type Config struct {
 	// be shared across workers and sections. The nil default makes
 	// every instrumentation point a single untaken branch.
 	Collector *telemetry.Collector
+	// Logger, when non-nil, receives structured pipeline logs: run
+	// summaries at Info, per-block records (block id, quartet class,
+	// eb slack, encoding) at Debug. Like Collector it is runtime-only
+	// state, never serialized into streams, and the nil default costs
+	// one untaken branch per log site. Per-block Debug logging requires
+	// a handler whose level actually enables Debug — the encoder checks
+	// Enabled once per block, not per attribute.
+	Logger *slog.Logger
 }
 
 // Defaults returns the paper's shipped configuration for a block geometry

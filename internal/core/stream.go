@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -55,6 +57,19 @@ func Compress(data []float64, cfg Config, stats *Stats) ([]byte, error) {
 	}
 	out := assembleStream(payloads, cfg)
 	putPayloads(payloads) // contents copied into out; recycle the buffers
+	if logEnabled(cfg.Logger, slog.LevelInfo) {
+		ratio := 0.0
+		if len(out) > 0 {
+			ratio = float64(len(data)*8) / float64(len(out))
+		}
+		cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "stream compressed",
+			slog.Int("blocks", len(data)/bs),
+			slog.String("class", quartetClass(cfg.NumSB, cfg.SBSize)),
+			slog.Float64("error_bound", cfg.ErrorBound),
+			slog.Int("bytes_in", len(data)*8),
+			slog.Int("bytes_out", len(out)),
+			slog.Float64("ratio", ratio))
+	}
 	return out, nil
 }
 
@@ -151,6 +166,15 @@ func Decompress(comp []byte, workers int) ([]float64, error) {
 // decode timings and decoded block/byte counts are recorded into col
 // (nil ⇒ no telemetry, identical to Decompress).
 func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]float64, error) {
+	return DecompressLogged(comp, workers, col, nil)
+}
+
+// DecompressLogged is DecompressCollect with a structured logger: a
+// successful run emits one Info summary (blocks, bytes, workers, the
+// stream's geometry and error bound). Decompression reads its Config
+// from the stream header, so the logger cannot ride in via Config and
+// is threaded explicitly here.
+func DecompressLogged(comp []byte, workers int, col *telemetry.Collector, logger *slog.Logger) ([]float64, error) {
 	cfg, nblocks, off, err := ParseHeader(comp)
 	if err != nil {
 		return nil, err
@@ -174,6 +198,17 @@ func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]fl
 	if workers > int(nblocks) {
 		workers = int(nblocks)
 	}
+	logDone := func() {
+		if logEnabled(logger, slog.LevelInfo) {
+			logger.LogAttrs(context.Background(), slog.LevelInfo, "stream decompressed",
+				slog.Uint64("blocks", nblocks),
+				slog.String("class", quartetClass(cfg.NumSB, cfg.SBSize)),
+				slog.Float64("error_bound", cfg.ErrorBound),
+				slog.Int("bytes_in", len(comp)),
+				slog.Int("bytes_out", len(out)*8),
+				slog.Int("workers", workers))
+		}
+	}
 	if workers <= 1 {
 		dec := getDecoder(cfg)
 		defer putDecoder(dec)
@@ -185,6 +220,7 @@ func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]fl
 			}
 			col.RecordDecodedBlock(spans[b].hi-spans[b].lo, bs*8)
 		}
+		logDone()
 		return out, nil
 	}
 
@@ -223,6 +259,7 @@ func DecompressCollect(comp []byte, workers int, col *telemetry.Collector) ([]fl
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	logDone()
 	return out, nil
 }
 

@@ -2,6 +2,7 @@ package hf
 
 import (
 	"fmt"
+	"log/slog"
 
 	"repro/internal/basis"
 	"repro/internal/container"
@@ -28,6 +29,13 @@ type BlockedStore struct {
 // NewBlockedStore computes, compresses and indexes the screened unique
 // shell-quartet blocks of a basis set at the given error bound.
 func NewBlockedStore(bs *basis.BasisSet, eb float64) (*BlockedStore, error) {
+	return NewBlockedStoreLogged(bs, eb, nil)
+}
+
+// NewBlockedStoreLogged is NewBlockedStore with a structured logger
+// threaded into the container compression (per-section Info records;
+// per-block Debug when the handler enables it). nil disables logging.
+func NewBlockedStoreLogged(bs *basis.BasisSet, eb float64, logger *slog.Logger) (*BlockedStore, error) {
 	prepared := make([]*eri.PreparedShell, bs.NShells())
 	maxL := 0
 	for i := range prepared {
@@ -46,7 +54,9 @@ func NewBlockedStore(bs *basis.BasisSet, eb float64) (*BlockedStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := container.NewWriter(core.Defaults(1, 1, eb))
+	base := core.Defaults(1, 1, eb)
+	base.Logger = logger
+	w, err := container.NewWriter(base)
 	if err != nil {
 		return nil, err
 	}

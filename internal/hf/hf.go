@@ -8,6 +8,7 @@ package hf
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/basis"
@@ -69,9 +70,16 @@ type CompressedSource struct {
 // (ij| pairs index sub-blocks and |kl) pairs index points, so the
 // pattern structure of Sec. III-B applies directly.
 func NewCompressedSource(bs *basis.BasisSet, eb float64) (*CompressedSource, error) {
+	return NewCompressedSourceLogged(bs, eb, nil)
+}
+
+// NewCompressedSourceLogged is NewCompressedSource with a structured
+// logger threaded into the compression run. nil disables logging.
+func NewCompressedSourceLogged(bs *basis.BasisSet, eb float64, logger *slog.Logger) (*CompressedSource, error) {
 	raw := eri.AllERIs(bs)
 	n := bs.NBF()
 	cfg := core.Defaults(n*n, n*n, eb)
+	cfg.Logger = logger
 	comp, err := core.Compress(raw, cfg, nil)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Hand-rolled Prometheus text-format (version 0.0.4) exporter. The
+// module has a zero-dependency policy (see DESIGN.md), and the subset
+// of the exposition format the collector needs — counters, gauges,
+// summaries and cumulative-bucket histograms with a handful of labels
+// — is small enough that emitting it directly is simpler than it
+// sounds: one HELP/TYPE header per family, then `name{labels} value`
+// sample lines. Scrapes are pull-based like every other snapshot
+// surface: rendering walks the same atomics Snapshot does, so a
+// scrape costs the pipeline nothing between scrapes.
+
+// promWriter accumulates exposition lines and remembers the first
+// write error so the per-family emitters stay unconditional.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP/TYPE preamble for one metric family.
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line. labels come as alternating key, value
+// pairs and are rendered in the given order.
+func (p *promWriter) sample(name string, value float64, labels ...string) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(labels[i])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(labels[i+1]))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(value))
+	sb.WriteByte('\n')
+	_, p.err = io.WriteString(p.w, sb.String())
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the collector's current state — plus Go
+// runtime/GC gauges — in Prometheus text format. A nil collector
+// writes only the runtime families, so a /metrics endpoint stays
+// scrapeable before a pipeline has attached its collector.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	p := &promWriter{w: w}
+	if c != nil {
+		c.writePipelineMetrics(p)
+	}
+	writeRuntimeMetrics(p)
+	return p.err
+}
+
+func (c *Collector) writePipelineMetrics(p *promWriter) {
+	p.header("pastri_blocks_total", "Blocks compressed.", "counter")
+	p.sample("pastri_blocks_total", float64(c.blocks.Load()))
+	p.header("pastri_bytes_in_total", "Raw bytes entering compression.", "counter")
+	p.sample("pastri_bytes_in_total", float64(c.bytesIn.Load()))
+	p.header("pastri_bytes_out_payload_total", "Compressed block payload bytes produced.", "counter")
+	p.sample("pastri_bytes_out_payload_total", float64(c.bytesPayload.Load()))
+	p.header("pastri_bytes_out_framing_total", "Stream and container framing bytes produced.", "counter")
+	p.sample("pastri_bytes_out_framing_total", float64(c.bytesFraming.Load()))
+
+	p.header("pastri_blocks_encoded_total", "Blocks per chosen ECQ encoding.", "counter")
+	for e := BlockEncoding(0); e < numBlockEncodings; e++ {
+		p.sample("pastri_blocks_encoded_total", float64(c.enc[e].Load()), "encoding", e.String())
+	}
+
+	writeHistogram(p, "pastri_block_payload_bytes",
+		"Compressed payload size per block.", c.blockBytes.Snapshot(), 1, nil)
+
+	// Stage timers: a summary (sum/count) per stage, min/max gauges,
+	// and the power-of-two latency histogram as cumulative buckets.
+	// Durations are exported in seconds per Prometheus convention.
+	p.header("pastri_stage_duration_seconds", "Wall-clock time per pipeline stage.", "summary")
+	type stageView struct {
+		name string
+		rec  *stageRec
+	}
+	var stages []stageView
+	for st := Stage(0); st < numStages; st++ {
+		if c.stages[st].count.Load() == 0 {
+			continue
+		}
+		stages = append(stages, stageView{st.String(), &c.stages[st]})
+	}
+	for _, sv := range stages {
+		p.sample("pastri_stage_duration_seconds_sum", float64(sv.rec.total.Load())/1e9, "stage", sv.name)
+		p.sample("pastri_stage_duration_seconds_count", float64(sv.rec.count.Load()), "stage", sv.name)
+	}
+	p.header("pastri_stage_duration_min_seconds", "Fastest observation per pipeline stage.", "gauge")
+	for _, sv := range stages {
+		minNS := uint64(0)
+		if m := sv.rec.min.Load(); m > 0 {
+			minNS = m - 1
+		}
+		p.sample("pastri_stage_duration_min_seconds", float64(minNS)/1e9, "stage", sv.name)
+	}
+	p.header("pastri_stage_duration_max_seconds", "Slowest observation per pipeline stage.", "gauge")
+	for _, sv := range stages {
+		p.sample("pastri_stage_duration_max_seconds", float64(sv.rec.max.Load())/1e9, "stage", sv.name)
+	}
+	if len(stages) > 0 {
+		// One family header, then each stage's bucket series — the format
+		// allows a single TYPE line per family.
+		p.header("pastri_stage_duration_ns", "Per-stage latency in nanoseconds, power-of-two buckets.", "histogram")
+		for _, sv := range stages {
+			writeHistogramSeries(p, "pastri_stage_duration_ns",
+				sv.rec.hist.Snapshot(), 1, []string{"stage", sv.name})
+		}
+	}
+
+	p.header("pastri_blocks_decoded_total", "Blocks decompressed.", "counter")
+	p.sample("pastri_blocks_decoded_total", float64(c.blocksDecoded.Load()))
+	p.header("pastri_decoded_bytes_in_total", "Compressed bytes consumed by decode.", "counter")
+	p.sample("pastri_decoded_bytes_in_total", float64(c.decodedBytesIn.Load()))
+	p.header("pastri_decoded_bytes_out_total", "Raw bytes produced by decode.", "counter")
+	p.sample("pastri_decoded_bytes_out_total", float64(c.decodedBytesOut.Load()))
+
+	p.header("pastri_eb_violations_total", "Audited blocks that broke the absolute error bound.", "counter")
+	p.sample("pastri_eb_violations_total", float64(c.ebViolations.Load()))
+
+	if fr := c.flight.Load(); fr != nil {
+		counts := fr.AnomalyCounts()
+		p.header("pastri_flight_anomalies_total", "Quality anomalies detected by the flight recorder.", "counter")
+		for _, reason := range sortedReasons(counts) {
+			p.sample("pastri_flight_anomalies_total", float64(counts[reason]), "reason", reason)
+		}
+		p.header("pastri_flight_artifacts_total", "Flight-recorder artifact files written.", "counter")
+		p.sample("pastri_flight_artifacts_total", float64(len(fr.ArtifactPaths())))
+	}
+}
+
+// writeHistogram renders a HistogramSnapshot as a Prometheus histogram:
+// cumulative buckets by ascending le, a +Inf bucket, and _sum/_count.
+// The snapshot's buckets are per-bin counts with inclusive upper
+// bounds, which matches the exposition format's `le` semantics once
+// the counts are accumulated. scale multiplies bounds and sum (for
+// unit conversion); extra label pairs are appended to every sample.
+func writeHistogram(p *promWriter, name, help string, h HistogramSnapshot, scale float64, labels []string) {
+	p.header(name, help, "histogram")
+	writeHistogramSeries(p, name, h, scale, labels)
+}
+
+// writeHistogramSeries emits one labeled bucket/_sum/_count series
+// without the family header, for families with several label sets.
+func writeHistogramSeries(p *promWriter, name string, h HistogramSnapshot, scale float64, labels []string) {
+	sorted := append([]Bucket(nil), h.Buckets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Le < sorted[j].Le })
+	cum := uint64(0)
+	for _, b := range sorted {
+		if b.Le == math.MaxUint64 {
+			// The top power-of-two bin is an "everything else" catch-all;
+			// it folds into the +Inf bucket below.
+			continue
+		}
+		cum += b.N
+		p.sample(name+"_bucket", float64(cum),
+			append(append([]string(nil), labels...), "le", formatValue(float64(b.Le)*scale))...)
+	}
+	p.sample(name+"_bucket", float64(h.Count),
+		append(append([]string(nil), labels...), "le", "+Inf")...)
+	p.sample(name+"_sum", float64(h.Sum)*scale, labels...)
+	p.sample(name+"_count", float64(h.Count), labels...)
+}
+
+func writeRuntimeMetrics(p *promWriter) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	p.header("go_goroutines", "Live goroutines.", "gauge")
+	p.sample("go_goroutines", float64(runtime.NumGoroutine()))
+	p.header("go_gc_cycles_total", "Completed GC cycles.", "counter")
+	p.sample("go_gc_cycles_total", float64(m.NumGC))
+	p.header("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", "gauge")
+	p.sample("go_memstats_heap_alloc_bytes", float64(m.HeapAlloc))
+	p.header("go_memstats_heap_objects", "Number of allocated heap objects.", "gauge")
+	p.sample("go_memstats_heap_objects", float64(m.HeapObjects))
+	p.header("go_memstats_sys_bytes", "Bytes obtained from the OS.", "gauge")
+	p.sample("go_memstats_sys_bytes", float64(m.Sys))
+	p.header("go_memstats_alloc_bytes_total", "Cumulative bytes allocated.", "counter")
+	p.sample("go_memstats_alloc_bytes_total", float64(m.TotalAlloc))
+	p.header("go_memstats_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("go_memstats_gc_pause_seconds_total", float64(m.PauseTotalNs)/1e9)
+	p.header("go_memstats_gc_cpu_fraction", "Fraction of CPU time spent in GC.", "gauge")
+	p.sample("go_memstats_gc_cpu_fraction", m.GCCPUFraction)
+}
+
+// MetricsHandler serves Prometheus text format for whatever collector
+// get returns at scrape time — the indirection lets a long-lived
+// process (or the pastri CLI's debug server, which swaps collectors
+// per run) publish one stable /metrics endpoint.
+func MetricsHandler(get func() *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		get().WritePrometheus(w) //lint:errdrop-ok a failed scrape write only hurts the scraper that went away
+	})
+}

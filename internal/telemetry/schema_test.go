@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden schema files")
+
+// TestSnapshotSchemaGolden pins the JSON shape of the telemetry
+// snapshot: every field path, its JSON name, and its wire type. The
+// snapshot is a published artifact (-statsjson files, /debug/vars, the
+// flight-recorder artifacts embed TraceRecord) — renaming or retyping a
+// field breaks downstream dashboards silently, so the schema can only
+// change together with this golden file (go test ./internal/telemetry
+// -run Schema -update).
+func TestSnapshotSchemaGolden(t *testing.T) {
+	var schema strings.Builder
+	describeType(&schema, "snapshot", reflect.TypeOf(Snapshot{}))
+	schema.WriteString("\n")
+	describeType(&schema, "flight_artifact", reflect.TypeOf(FlightArtifact{}))
+	got := schema.String()
+
+	golden := filepath.Join("testdata", "snapshot_schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("snapshot JSON schema drifted from golden.\n"+
+			"If the change is intentional, update downstream consumers and rerun with -update.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// describeType renders one line per JSON field path: path, wire name,
+// Go type, and whether the field is omitempty.
+func describeType(w *strings.Builder, path string, t reflect.Type) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		describeType(w, path, t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("json")
+			name, opts, _ := strings.Cut(tag, ",")
+			if name == "-" {
+				continue
+			}
+			if name == "" {
+				name = f.Name
+			}
+			line := fmt.Sprintf("%s.%s %s", path, name, wireType(f.Type))
+			if strings.Contains(","+opts+",", ",omitempty,") {
+				line += " omitempty"
+			}
+			w.WriteString(line + "\n")
+			descend(w, path+"."+name, f.Type)
+		}
+	}
+}
+
+// descend recurses into composite field types so nested structs get
+// their own schema lines.
+func descend(w *strings.Builder, path string, t reflect.Type) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		descend(w, path, t.Elem())
+	case reflect.Struct:
+		describeType(w, path, t)
+	case reflect.Slice, reflect.Array:
+		descend(w, path+"[]", t.Elem())
+	case reflect.Map:
+		keys := []string{path + "{" + t.Key().Kind().String() + "}"}
+		sort.Strings(keys) // single entry; kept for shape symmetry
+		descend(w, keys[0], t.Elem())
+	}
+}
+
+// wireType names the JSON encoding a Go type produces.
+func wireType(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.Pointer:
+		return wireType(t.Elem())
+	case reflect.String:
+		return "string"
+	case reflect.Bool:
+		return "bool"
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return "integer"
+	case reflect.Uint8:
+		// BlockEncoding marshals as its text name.
+		if t.Name() == "BlockEncoding" {
+			return "string"
+		}
+		return "integer"
+	case reflect.Float32, reflect.Float64:
+		return "number"
+	case reflect.Slice, reflect.Array:
+		return "array(" + wireType(t.Elem()) + ")"
+	case reflect.Map:
+		return "object(" + t.Key().Kind().String() + "->" + wireType(t.Elem()) + ")"
+	case reflect.Struct:
+		return "object " + t.Name()
+	default:
+		return t.Kind().String()
+	}
+}

@@ -70,6 +70,16 @@ type Snapshot struct {
 	DecodedBytesIn  uint64 `json:"decoded_bytes_in,omitempty"`
 	DecodedBytesOut uint64 `json:"decoded_bytes_out,omitempty"`
 
+	// EBViolations is the audited error-bound violation count; any
+	// nonzero value means the hard-bound guarantee was observed broken.
+	EBViolations uint64 `json:"eb_violations,omitempty"`
+
+	// FlightAnomalies counts anomalies per reason, and FlightArtifacts
+	// lists the artifact files the flight recorder has written; both are
+	// empty when no recorder is attached.
+	FlightAnomalies map[string]uint64 `json:"flight_anomalies,omitempty"`
+	FlightArtifacts []string          `json:"flight_artifacts,omitempty"`
+
 	Traces []TraceRecord `json:"traces,omitempty"`
 }
 
@@ -90,7 +100,12 @@ func (c *Collector) Snapshot() *Snapshot {
 		BlocksDecoded:   c.blocksDecoded.Load(),
 		DecodedBytesIn:  c.decodedBytesIn.Load(),
 		DecodedBytesOut: c.decodedBytesOut.Load(),
+		EBViolations:    c.ebViolations.Load(),
 		Traces:          c.ring.snapshot(),
+	}
+	if fr := c.flight.Load(); fr != nil {
+		s.FlightAnomalies = fr.AnomalyCounts()
+		s.FlightArtifacts = fr.ArtifactPaths()
 	}
 	s.BytesOutTotal = s.BytesOutPayload + s.BytesOutFraming
 	for e := BlockEncoding(0); e < numBlockEncodings; e++ {

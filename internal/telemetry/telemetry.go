@@ -206,7 +206,18 @@ type Collector struct {
 	decodedBytesIn  Counter // compressed bytes consumed by decode
 	decodedBytesOut Counter // raw bytes produced by decode
 
+	// ebViolations counts blocks whose decoded values broke the absolute
+	// error bound — incremented by audit passes (cmd/pastri -audit) and
+	// surfaced on /metrics, so a nonzero value is an operator page.
+	ebViolations Counter
+
 	ring traceRing
+
+	// flight, when set, receives every block record (plus block data,
+	// when the instrumentation point can supply it) for anomaly
+	// detection. Stored atomically so workers may record while an
+	// operator attaches the recorder.
+	flight atomic.Pointer[FlightRecorder]
 }
 
 // New returns a live Collector whose trace ring holds traceDepth
@@ -280,9 +291,19 @@ func (t Timer) Stop() {
 // size histogram, and a slot in the trace ring. The record's Block id
 // is assigned here, in completion order (the stream's block order is
 // the submission order, which may differ under parallel compression).
-func (c *Collector) RecordBlock(rec TraceRecord) {
+// It returns the assigned id (0 on a nil collector).
+func (c *Collector) RecordBlock(rec TraceRecord) uint64 {
+	return c.RecordBlockData(rec, nil, nil)
+}
+
+// RecordBlockData is RecordBlock for instrumentation points that can
+// hand the attached FlightRecorder the block's raw and reconstructed
+// values for anomaly capture. The slices are only read during the
+// call — never retained — so callers may pass reusable scratch
+// buffers. Either slice may be nil.
+func (c *Collector) RecordBlockData(rec TraceRecord, original, reconstructed []float64) uint64 {
 	if c == nil {
-		return
+		return 0
 	}
 	rec.Block = c.blocks.v.Add(1) - 1
 	c.bytesIn.Add(uint64(rec.BytesIn))
@@ -292,6 +313,52 @@ func (c *Collector) RecordBlock(rec TraceRecord) {
 	}
 	c.blockBytes.Observe(uint64(rec.BytesOut))
 	c.ring.push(rec)
+	if fr := c.flight.Load(); fr != nil {
+		fr.observeCompress(c, rec, original, reconstructed)
+	}
+	return rec.Block
+}
+
+// AttachFlight points the collector's block stream at a flight
+// recorder. Safe to call while workers are recording; a nil collector
+// or recorder is a no-op.
+func (c *Collector) AttachFlight(fr *FlightRecorder) {
+	if c == nil || fr == nil {
+		return
+	}
+	c.flight.Store(fr)
+}
+
+// Flight returns the attached flight recorder, or nil.
+func (c *Collector) Flight() *FlightRecorder {
+	if c == nil {
+		return nil
+	}
+	return c.flight.Load()
+}
+
+// FlightWantsData reports whether an attached flight recorder would
+// capture block data — the hook instrumentation uses to decide whether
+// computing a reconstruction copy is worth the extra pass.
+func (c *Collector) FlightWantsData() bool {
+	return c.Flight() != nil
+}
+
+// AddEBViolations counts n audited blocks that broke the absolute
+// error bound.
+func (c *Collector) AddEBViolations(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.ebViolations.Add(uint64(n))
+}
+
+// EBViolations returns the audited bound-violation count.
+func (c *Collector) EBViolations() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ebViolations.Load()
 }
 
 // AddFramingBytes accounts stream or container framing (headers,
@@ -316,6 +383,9 @@ func (c *Collector) RecordDecodedBlock(compressedBytes, rawBytes int) {
 	if rawBytes > 0 {
 		c.decodedBytesOut.Add(uint64(rawBytes))
 	}
+	if fr := c.flight.Load(); fr != nil {
+		fr.observeDecode(c, compressedBytes, rawBytes)
+	}
 }
 
 // TraceRecord is one block's entry in the trace ring buffer.
@@ -336,6 +406,11 @@ type TraceRecord struct {
 	// reconstruction error — how much of the user's bound the codec
 	// left on the table.
 	EBSlack float64 `json:"eb_slack"`
+	// ECQNonZero is the number of nonzero error-correction quanta — the
+	// block's "hardness" for the ECQ stage (a Type-0 block has zero).
+	ECQNonZero int `json:"ecq_nonzero"`
+	// ECbMax is the widest ECQ bin the block needed (1 ⇒ Type-0).
+	ECbMax int `json:"ecb_max"`
 }
 
 // traceRing is a bounded ring of the most recent block traces. Pushes

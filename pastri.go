@@ -3,6 +3,8 @@ package pastri
 import (
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -71,6 +73,12 @@ type Options struct {
 	// default is zero-cost: each instrumentation point reduces to one
 	// untaken branch.
 	Collector *Collector
+	// Logger, when non-nil, receives structured logs from every run under
+	// these options: one Info summary per stream or container section,
+	// and — when the handler enables Debug — one record per block with
+	// its id, shell-quartet class, error-bound slack and chosen encoding.
+	// Like Collector, the nil default costs one untaken branch per site.
+	Logger *slog.Logger
 }
 
 // NewOptions returns the paper's shipped configuration for the given
@@ -106,6 +114,7 @@ func (o Options) internal() core.Config {
 		DisableSparse: o.DisableSparse,
 		Workers:       o.Workers,
 		Collector:     o.Collector,
+		Logger:        o.Logger,
 	}
 }
 
@@ -168,11 +177,50 @@ func NewCollector() *Collector { return telemetry.New(0) }
 // histograms and timers are always on).
 func NewCollectorTraceDepth(depth int) *Collector { return telemetry.New(depth) }
 
+// MetricsHandler returns an http.Handler serving Prometheus text
+// format for whatever collector get returns at scrape time (nil is
+// fine: runtime gauges are still served). Mount it at /metrics next to
+// net/http/pprof; see Collector.WritePrometheus for the metric
+// families.
+func MetricsHandler(get func() *Collector) http.Handler { return telemetry.MetricsHandler(get) }
+
+// FlightRecorder is the pipeline's quality black box: attached to a
+// Collector (Collector.AttachFlight), it watches every block for
+// error-bound slack violations and compression-ratio outliers against
+// a rolling baseline, counts anomalies per reason, and dumps bounded
+// JSON artifacts replayable through cmd/zcheck -flight.
+type FlightRecorder = telemetry.FlightRecorder
+
+// FlightConfig parameterizes a FlightRecorder; zero fields take
+// documented defaults.
+type FlightConfig = telemetry.FlightConfig
+
+// FlightArtifact is one captured anomaly as serialized to disk.
+type FlightArtifact = telemetry.FlightArtifact
+
+// NewFlightRecorder returns a recorder with cfg's zero fields filled
+// with defaults. Attach it with Collector.AttachFlight before the run.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return telemetry.NewFlightRecorder(cfg) }
+
+// ReadFlightArtifact loads a flight-recorder artifact from disk.
+func ReadFlightArtifact(path string) (*FlightArtifact, error) {
+	return telemetry.ReadFlightArtifact(path)
+}
+
 // DecompressCollect is DecompressWorkers with a telemetry sink:
 // per-block decode timings and decoded block/byte counts are recorded
 // into c (nil ⇒ no telemetry).
 func DecompressCollect(comp []byte, workers int, c *Collector) ([]float64, error) {
 	return core.DecompressCollect(comp, workers, c)
+}
+
+// DecompressLogged is DecompressCollect with a structured logger: a
+// successful run emits one Info summary with the stream's geometry,
+// error bound, block and byte counts. Decompression reads its
+// configuration from the stream header, so the logger is threaded
+// explicitly rather than via Options.
+func DecompressLogged(comp []byte, workers int, c *Collector, logger *slog.Logger) ([]float64, error) {
+	return core.DecompressLogged(comp, workers, c, logger)
 }
 
 // StreamInfo describes a compressed stream without decompressing it.
