@@ -6,20 +6,34 @@
 //
 //	pastrilint ./...                  # whole module
 //	pastrilint ./internal/bitio       # one package
-//	pastrilint -only floatcmp,errdrop ./...
+//	pastrilint -only floatcmp,detlint ./...
+//	pastrilint -json ./...            # machine-readable findings
+//	pastrilint -sarif out.sarif ./... # SARIF 2.1.0 for code scanning
+//	pastrilint -baseline .pastrilint-baseline.json ./...
+//	pastrilint -selftest              # fixture findings as JSON
 //	pastrilint -list                  # describe the suite
 //
-// Findings print as file:line:col: [analyzer] message. A finding is
-// silenced by fixing it or by annotating the line (or the line above)
-// with //lint:<analyzer>-ok plus the reason the invariant holds; see
-// the "Static analysis & invariants" section of README.md.
+// Findings print as file:line:col: [analyzer] message with paths
+// relative to the module root. A finding is silenced by fixing it, by
+// annotating the line (or the line above) with //lint:<analyzer>-ok
+// plus the reason the invariant holds, or — for debt that needs more
+// than one PR to pay down — by a baseline entry with a reason and a
+// mandatory expiry date; see the "Static analysis & invariants"
+// section of README.md.
+//
+// Exit codes: 0 clean, 1 findings or baseline problems, 2 usage or
+// load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -28,12 +42,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pastrilint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		only = fs.String("only", "", "comma-separated subset of analyzers to run")
-		list = fs.Bool("list", false, "list analyzers and exit")
+		only     = fs.String("only", "", "comma-separated subset of analyzers to run")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		sarif    = fs.String("sarif", "", "also write findings to this file as SARIF 2.1.0")
+		baseline = fs.String("baseline", "", "suppress findings listed in this baseline file")
+		selftest = fs.Bool("selftest", false, "run the suite over its own fixtures and emit JSON findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,21 +60,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return 0
-	}
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-
-	analyzers := analysis.All()
-	if *only != "" {
-		var err error
-		analyzers, err = analysis.ByName(strings.Split(*only, ","))
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+		for _, a := range analysis.AllModule() {
+			fmt.Fprintf(stdout, "%-18s %s (module-wide)\n", a.Name, a.Doc)
 		}
+		return 0
 	}
 
 	cwd, err := os.Getwd()
@@ -64,35 +71,138 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "pastrilint:", err)
 		return 2
 	}
-	n, err := Lint(cwd, patterns, analyzers, stdout)
+
+	if *selftest {
+		root, err := findModRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+		findings, err := analysis.Selftest(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pas, mas := analysis.All(), analysis.AllModule()
+	if *only != "" {
+		var err error
+		pas, mas, err = analysis.Select(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	findings, err := Lint(cwd, patterns, pas, mas)
 	if err != nil {
 		fmt.Fprintln(stderr, "pastrilint:", err)
 		return 2
 	}
-	if n > 0 {
-		fmt.Fprintf(stdout, "pastrilint: %d finding(s)\n", n)
+
+	var problems []string
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+		findings, problems = b.Apply(findings, time.Now())
+	}
+
+	if *sarif != "" {
+		doc, err := analysis.SARIFReport(analysis.SuiteRules(pas, mas), findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarif, doc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "pastrilint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	for _, p := range problems {
+		fmt.Fprintln(stderr, "pastrilint:", p)
+	}
+	if len(findings) > 0 || len(problems) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "pastrilint: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
 	return 0
 }
 
-// Lint loads the patterns relative to dir's module and streams findings
-// to out, returning the finding count.
-func Lint(dir string, patterns []string, analyzers []*analysis.Analyzer, out *os.File) (int, error) {
+// Lint loads the patterns relative to dir's module, runs the given
+// per-package and module analyzers, and returns the surviving findings
+// with module-root-relative paths in canonical order.
+func Lint(dir string, patterns []string, pas []*analysis.Analyzer, mas []*analysis.ModuleAnalyzer) ([]analysis.Finding, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	total := 0
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		for _, d := range analysis.RunPackage(pkg, analyzers) {
-			fmt.Fprintln(out, d)
-			total++
+		for _, d := range analysis.RunPackage(pkg, pas) {
+			findings = append(findings, analysis.NewFinding(loader.ModRoot(), d))
 		}
 	}
-	return total, nil
+	for _, d := range analysis.RunModule(pkgs, mas) {
+		findings = append(findings, analysis.NewFinding(loader.ModRoot(), d))
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}
+
+// writeJSON emits findings as a stable, indented JSON array ([] when
+// empty, never null) followed by a newline.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	if findings == nil {
+		findings = []analysis.Finding{}
+	}
+	out, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// findModRoot walks up from dir to the directory holding go.mod.
+func findModRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
 }

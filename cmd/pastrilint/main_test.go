@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -16,54 +19,104 @@ func repoRoot(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			t.Fatal("no go.mod above test directory")
-		}
-		dir = parent
+	root, err := findModRoot(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return root
 }
 
 // TestRepoIsLintClean runs the full analyzer suite over the whole
-// module and fails on any finding, making `go test ./...` enforce the
-// same gate as `make lint`. New findings are fixed or annotated with
-// //lint:<analyzer>-ok — see README.md "Static analysis & invariants".
+// module — filtered through the committed baseline, exactly as `make
+// lint` does — and fails on any surviving finding or baseline problem
+// (expired or unused entries). New findings are fixed or annotated
+// with //lint:<analyzer>-ok — see README.md "Static analysis &
+// invariants".
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checking the whole module is slow")
 	}
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer devnull.Close()
-
 	root := repoRoot(t)
-	n, err := Lint(root, []string{"./..."}, analysis.All(), devnull)
+	findings, err := Lint(root, []string{"./..."}, analysis.All(), analysis.AllModule())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
-		// Re-run against stderr so the findings are visible in the log.
-		if _, err := Lint(root, []string{"./..."}, analysis.All(), os.Stderr); err != nil {
-			t.Fatal(err)
-		}
-		t.Fatalf("pastrilint reported %d finding(s); fix or annotate them", n)
+	b, err := analysis.LoadBaseline(filepath.Join(root, ".pastrilint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, problems := b.Apply(findings, time.Now())
+	for _, f := range kept {
+		t.Errorf("finding: %s", f)
+	}
+	for _, p := range problems {
+		t.Errorf("baseline: %s", p)
+	}
+}
+
+// TestSelftestMatchesGolden pins the machine output of the whole suite
+// over its fixtures. Regenerate with:
+//
+//	go run ./cmd/pastrilint -selftest > cmd/pastrilint/testdata/selftest.golden.json
+func TestSelftestMatchesGolden(t *testing.T) {
+	root := repoRoot(t)
+	findings, err := analysis.Selftest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join(root, "cmd/pastrilint/testdata/selftest.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("selftest output differs from golden; regenerate with\n\tgo run ./cmd/pastrilint -selftest > cmd/pastrilint/testdata/selftest.golden.json\ngot:\n%s", buf.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("selftest produced no findings; fixtures or analyzers are broken")
+	}
+}
+
+// TestSelftestSARIFValidates renders the selftest findings as SARIF and
+// checks the document against the 2.1.0 schema's structural rules — the
+// same writer `pastrilint -sarif` uses in CI.
+func TestSelftestSARIFValidates(t *testing.T) {
+	root := repoRoot(t)
+	findings, err := analysis.Selftest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := analysis.SARIFReport(analysis.SuiteRules(analysis.All(), analysis.AllModule()), findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.ValidateSARIF(doc); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunListsAnalyzers(t *testing.T) {
-	if code := run([]string{"-list"}, os.Stdout, os.Stderr); code != 0 {
-		t.Fatalf("pastrilint -list exited %d", code)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("pastrilint -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"floatcmp", "hotalloc2", "detlint", "atomicmix", "deferloop"} {
+		if !bytes.Contains(out.Bytes(), []byte(name)) {
+			t.Errorf("-list output missing %s", name)
+		}
 	}
 }
 
 func TestRunRejectsUnknownAnalyzer(t *testing.T) {
-	if code := run([]string{"-only", "nosuch"}, os.Stdout, os.Stderr); code != 2 {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
 		t.Fatalf("pastrilint -only nosuch exited %d, want 2", code)
 	}
 }

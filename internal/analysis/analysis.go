@@ -28,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // A Diagnostic is one finding produced by an analyzer.
@@ -71,7 +70,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the per-package analyzer suite in reporting order. The
+// interprocedural analyzers live in AllModule; the first-generation
+// hotalloc analyzer has been subsumed by hotalloc2 there, rebased on
+// the internal/analysis/flow engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -80,7 +82,6 @@ func All() []*Analyzer {
 		NoPanic,
 		GoroutineCapture,
 		TelemetryDrop,
-		HotAlloc,
 		SlogKey,
 	}
 }
@@ -129,18 +130,6 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
+	sortDiagnostics(kept)
 	return kept
 }

@@ -32,12 +32,37 @@ func TestTelemetryDrop(t *testing.T) {
 	runFixture(t, TelemetryDrop, "telemetrydrop", fixtureModPath+"/internal/fixtures")
 }
 
-func TestHotAlloc(t *testing.T) {
-	runFixture(t, HotAlloc, "hotalloc", fixtureModPath+"/internal/fixtures")
-}
-
 func TestSlogKey(t *testing.T) {
 	runFixture(t, SlogKey, "slogkey", fixtureModPath+"/internal/fixtures")
+}
+
+func TestHotAlloc2(t *testing.T) {
+	runModuleFixture(t, HotAlloc2, "hotalloc2", fixtureModPath+"/internal/fixtures")
+}
+
+func TestDetLint(t *testing.T) {
+	runModuleFixture(t, DetLint, "detlint", fixtureModPath+"/internal/fixtures")
+}
+
+func TestAtomicMix(t *testing.T) {
+	runModuleFixture(t, AtomicMix, "atomicmix", fixtureModPath+"/internal/fixtures")
+}
+
+func TestDeferLoop(t *testing.T) {
+	runModuleFixture(t, DeferLoop, "deferloop", fixtureModPath+"/internal/fixtures")
+}
+
+func TestSelect(t *testing.T) {
+	pas, mas, err := Select([]string{"floatcmp", "hotalloc2", "detlint"})
+	if err != nil || len(pas) != 1 || len(mas) != 2 {
+		t.Fatalf("Select = %v, %v, %v", pas, mas, err)
+	}
+	if pas[0] != FloatCmp || mas[0] != HotAlloc2 || mas[1] != DetLint {
+		t.Fatal("Select resolved wrong analyzers")
+	}
+	if _, _, err := Select([]string{"hotalloc"}); err == nil {
+		t.Fatal("Select accepted the retired hotalloc name")
+	}
 }
 
 func TestByName(t *testing.T) {

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// A Baseline is the committed list of findings the repo has chosen to
+// live with temporarily. Every entry must say why it exists and when it
+// expires; an expired entry stops suppressing and fails the run, so
+// debt cannot silently become permanent. Unused entries also fail the
+// run: once the underlying finding is fixed, the entry must be deleted.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// A BaselineEntry suppresses findings from one analyzer in one file
+// whose message starts with MessagePrefix. File is module-root-relative
+// with forward slashes, matching Finding.File. Line numbers are
+// deliberately not part of the key — baselined findings should survive
+// unrelated edits above them.
+type BaselineEntry struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	MessagePrefix string `json:"message_prefix"`
+	Reason        string `json:"reason"`
+	Expires       string `json:"expires"` // YYYY-MM-DD, mandatory
+}
+
+const baselineDateLayout = "2006-01-02"
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// ParseBaseline decodes a baseline document, rejecting unknown fields
+// and entries missing any of the mandatory fields.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	for i, e := range b.Entries {
+		switch {
+		case e.Analyzer == "":
+			return nil, fmt.Errorf("baseline entry %d: missing analyzer", i)
+		case e.File == "":
+			return nil, fmt.Errorf("baseline entry %d: missing file", i)
+		case e.MessagePrefix == "":
+			return nil, fmt.Errorf("baseline entry %d: missing message_prefix", i)
+		case e.Reason == "":
+			return nil, fmt.Errorf("baseline entry %d: missing reason — say why this finding is temporarily acceptable", i)
+		case e.Expires == "":
+			return nil, fmt.Errorf("baseline entry %d: missing expires — baseline entries must have an expiry date", i)
+		}
+		if _, err := time.Parse(baselineDateLayout, e.Expires); err != nil {
+			return nil, fmt.Errorf("baseline entry %d: bad expires %q: want YYYY-MM-DD", i, e.Expires)
+		}
+	}
+	return &b, nil
+}
+
+// Apply filters findings through the baseline as of now. It returns the
+// findings no unexpired entry matches, plus one problem string per
+// expired entry and per entry that matched nothing — both are failures
+// for the caller to report.
+func (b *Baseline) Apply(findings []Finding, now time.Time) (kept []Finding, problems []string) {
+	today := now.Format(baselineDateLayout)
+	used := make([]bool, len(b.Entries))
+	expired := make([]bool, len(b.Entries))
+	for i, e := range b.Entries {
+		// String comparison works because the layout is big-endian.
+		expired[i] = e.Expires < today
+	}
+	for _, f := range findings {
+		matched := false
+		for i, e := range b.Entries {
+			if e.Analyzer != f.Analyzer || e.File != f.File ||
+				!strings.HasPrefix(f.Message, e.MessagePrefix) {
+				continue
+			}
+			used[i] = true
+			if !expired[i] {
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range b.Entries {
+		if expired[i] {
+			problems = append(problems,
+				fmt.Sprintf("baseline entry for %s in %s expired %s (%s); fix the finding or renew the entry",
+					e.Analyzer, e.File, e.Expires, e.Reason))
+		} else if !used[i] {
+			problems = append(problems,
+				fmt.Sprintf("baseline entry for %s in %s matched no finding; delete it", e.Analyzer, e.File))
+		}
+	}
+	return kept, problems
+}

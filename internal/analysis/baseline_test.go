@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParseBaseline(t *testing.T, src string) *Baseline {
+	t.Helper()
+	b, err := ParseBaseline([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseBaselineRejectsMissingFields(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`{"entries":[{"file":"a.go","message_prefix":"m","reason":"r","expires":"2026-01-01"}]}`, "missing analyzer"},
+		{`{"entries":[{"analyzer":"detlint","message_prefix":"m","reason":"r","expires":"2026-01-01"}]}`, "missing file"},
+		{`{"entries":[{"analyzer":"detlint","file":"a.go","reason":"r","expires":"2026-01-01"}]}`, "missing message_prefix"},
+		{`{"entries":[{"analyzer":"detlint","file":"a.go","message_prefix":"m","expires":"2026-01-01"}]}`, "missing reason"},
+		{`{"entries":[{"analyzer":"detlint","file":"a.go","message_prefix":"m","reason":"r"}]}`, "missing expires"},
+		{`{"entries":[{"analyzer":"detlint","file":"a.go","message_prefix":"m","reason":"r","expires":"soon"}]}`, "bad expires"},
+		{`{"entries":[],"extra":1}`, "unknown field"},
+	}
+	for _, c := range cases {
+		_, err := ParseBaseline([]byte(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseBaseline(%s) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+	if _, err := ParseBaseline([]byte(`{"entries":[]}`)); err != nil {
+		t.Errorf("empty baseline rejected: %v", err)
+	}
+}
+
+func TestBaselineApplySuppressesByPrefix(t *testing.T) {
+	b := mustParseBaseline(t, `{"entries":[
+		{"analyzer":"detlint","file":"internal/core/a.go","message_prefix":"time.Now in","reason":"migration in flight","expires":"2026-12-31"}
+	]}`)
+	now := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	findings := []Finding{
+		{Analyzer: "detlint", File: "internal/core/a.go", Line: 3, Message: "time.Now in Flush feeds an output path"},
+		{Analyzer: "detlint", File: "internal/core/b.go", Line: 4, Message: "time.Now in Other feeds an output path"},
+		{Analyzer: "hotalloc2", File: "internal/core/a.go", Line: 5, Message: "time.Now in disguise"},
+	}
+	kept, problems := b.Apply(findings, now)
+	if len(problems) != 0 {
+		t.Fatalf("problems = %v", problems)
+	}
+	if len(kept) != 2 || kept[0].File != "internal/core/b.go" || kept[1].Analyzer != "hotalloc2" {
+		t.Fatalf("kept = %v", kept)
+	}
+}
+
+func TestBaselineApplyFlagsExpiredAndUnused(t *testing.T) {
+	b := mustParseBaseline(t, `{"entries":[
+		{"analyzer":"detlint","file":"a.go","message_prefix":"time.Now","reason":"r1","expires":"2026-01-01"},
+		{"analyzer":"atomicmix","file":"b.go","message_prefix":"struct field","reason":"r2","expires":"2027-01-01"}
+	]}`)
+	now := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	findings := []Finding{
+		{Analyzer: "detlint", File: "a.go", Line: 1, Message: "time.Now in X"},
+	}
+	kept, problems := b.Apply(findings, now)
+	// The expired entry must stop suppressing: the finding survives.
+	if len(kept) != 1 {
+		t.Fatalf("kept = %v, want the expired-entry finding to survive", kept)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want expired + unused", problems)
+	}
+	if !strings.Contains(problems[0], "expired 2026-01-01") || !strings.Contains(problems[0], "r1") {
+		t.Errorf("problems[0] = %q", problems[0])
+	}
+	if !strings.Contains(problems[1], "matched no finding") {
+		t.Errorf("problems[1] = %q", problems[1])
+	}
+}
+
+func TestBaselineApplyExactlyOnExpiryDay(t *testing.T) {
+	b := mustParseBaseline(t, `{"entries":[
+		{"analyzer":"detlint","file":"a.go","message_prefix":"m","reason":"r","expires":"2026-08-01"}
+	]}`)
+	findings := []Finding{{Analyzer: "detlint", File: "a.go", Message: "m and more"}}
+	// On the expiry day itself the entry still suppresses.
+	kept, problems := b.Apply(findings, time.Date(2026, 8, 1, 23, 0, 0, 0, time.UTC))
+	if len(kept) != 0 || len(problems) != 0 {
+		t.Fatalf("on expiry day: kept=%v problems=%v", kept, problems)
+	}
+	// The day after, it no longer does.
+	kept, problems = b.Apply(findings, time.Date(2026, 8, 2, 0, 0, 0, 0, time.UTC))
+	if len(kept) != 1 || len(problems) != 1 {
+		t.Fatalf("after expiry: kept=%v problems=%v", kept, problems)
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is a Diagnostic prepared for machine output: the file is
+// module-root-relative with forward slashes, so JSON, SARIF, baseline
+// files, and selftest goldens are stable across checkouts and operating
+// systems.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// NewFinding converts d, rewriting its position relative to modRoot.
+// Positions outside modRoot (which do not occur for module-loaded
+// packages) keep their original path.
+func NewFinding(modRoot string, d Diagnostic) Finding {
+	file := d.Pos.Filename
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !isOutside(rel) {
+			file = rel
+		}
+	}
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	}
+}
+
+func isOutside(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// String renders the finding in the classic compiler format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, analyzer — the
+// canonical order for every machine output.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -31,9 +31,9 @@ const fixtureModPath = "fixture.example/mod"
 
 var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
 
-// runFixture type-checks the package at testdata/<dir>, runs a over it
-// under import path pkgPath, and diffs findings against want comments.
-func runFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
+// loadFixture type-checks the package at testdata/<dir> under import
+// path pkgPath.
+func loadFixture(t testing.TB, dir, pkgPath string) *Package {
 	t.Helper()
 	full := filepath.Join("testdata", dir)
 	ents, err := os.ReadDir(full)
@@ -61,7 +61,7 @@ func runFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", full, err)
 	}
-	pkg := &Package{
+	return &Package{
 		Path:    pkgPath,
 		ModPath: fixtureModPath,
 		Dir:     full,
@@ -70,9 +70,28 @@ func runFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
 		Types:   tpkg,
 		Info:    info,
 	}
-	diags := RunPackage(pkg, []*Analyzer{a})
+}
 
-	wants := collectWants(t, files)
+// runFixture runs a per-package analyzer over testdata/<dir> and diffs
+// findings against `// want` comments.
+func runFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diffWants(t, pkg, RunPackage(pkg, []*Analyzer{a}))
+}
+
+// runModuleFixture runs a module analyzer over testdata/<dir> as a
+// single-package module (the flow engine's whole-program view is just
+// that package) and diffs findings against `// want` comments.
+func runModuleFixture(t *testing.T, a *ModuleAnalyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diffWants(t, pkg, RunModule([]*Package{pkg}, []*ModuleAnalyzer{a}))
+}
+
+func diffWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg.Files)
 	matched := make(map[*wantExpectation]bool)
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)

@@ -1,0 +1,405 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathMarker is the doc-comment directive that marks a function as
+// per-block hot. It must appear on a comment line of its own.
+const HotPathMarker = "//pastri:hotpath"
+
+// IsHotMarked reports whether the function declaration's doc comment
+// carries the hot-path directive.
+func IsHotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageInfo is the slice of a type-checked package the flow engine
+// needs. internal/analysis adapts its own Package type to this.
+type PackageInfo struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Func is one declared function or method with a body, a node of the
+// call graph. Code inside function literals is attributed to the
+// enclosing declaration: a closure spawned by a hot function is hot.
+type Func struct {
+	Obj    *types.Func
+	Decl   *ast.FuncDecl
+	Pkg    *PackageInfo
+	Marked bool // explicit //pastri:hotpath directive
+
+	Callees []*Func
+	Callers []*Func
+}
+
+// String renders a compact human name: pkg.Fn or pkg.(*T).Method.
+func (f *Func) String() string {
+	name := f.Obj.Name()
+	if recv := f.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		tn := "?"
+		if named, ok := t.(*types.Named); ok {
+			tn = named.Obj().Name()
+		}
+		name = "(" + ptr + tn + ")." + name
+	}
+	return f.Obj.Pkg().Name() + "." + name
+}
+
+// A Program is the whole-module view: every declared function across
+// the loaded packages, linked by a call graph that resolves static
+// calls directly, interface method calls by class-hierarchy analysis
+// (every module type implementing the interface), and calls through
+// function values by signature match against address-taken functions.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*PackageInfo
+
+	funcs  map[*types.Func]*Func
+	byDecl map[*ast.FuncDecl]*Func
+	order  []*Func // deterministic (position) iteration order
+}
+
+// Funcs returns every function node in deterministic source order.
+func (p *Program) Funcs() []*Func { return p.order }
+
+// FuncOf returns the node for a declaration, or nil.
+func (p *Program) FuncOf(fd *ast.FuncDecl) *Func { return p.byDecl[fd] }
+
+// dynCall is a pending call through a function value, resolved against
+// address-taken functions once all of them are known.
+type dynCall struct {
+	caller *Func
+	sig    *types.Signature
+}
+
+// BuildProgram indexes the packages and builds the call graph.
+func BuildProgram(fset *token.FileSet, pkgs []*PackageInfo) *Program {
+	p := &Program{
+		Fset:     fset,
+		Packages: pkgs,
+		funcs:    make(map[*types.Func]*Func),
+		byDecl:   make(map[*ast.FuncDecl]*Func),
+	}
+
+	// Pass 1: one node per declared function/method with a body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &Func{Obj: obj, Decl: fd, Pkg: pkg, Marked: IsHotMarked(fd)}
+				p.funcs[obj] = fn
+				p.byDecl[fd] = fn
+				p.order = append(p.order, fn)
+			}
+		}
+	}
+	sort.Slice(p.order, func(i, j int) bool {
+		a, b := p.Fset.Position(p.order[i].Decl.Pos()), p.Fset.Position(p.order[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+
+	named := p.moduleNamedTypes()
+
+	// Pass 2: edges. Also collect address-taken functions (referenced
+	// outside call position) and dynamic call sites for pass 3.
+	addrTaken := make(map[*types.Func]bool)
+	var dyns []dynCall
+	edges := make(map[*Func]map[*Func]bool)
+	addEdge := func(caller *Func, callee *types.Func) {
+		if callee == nil {
+			return
+		}
+		node := p.funcs[callee.Origin()]
+		if node == nil {
+			return // outside the module (stdlib)
+		}
+		set := edges[caller]
+		if set == nil {
+			set = make(map[*Func]bool)
+			edges[caller] = set
+		}
+		set[node] = true
+	}
+
+	for _, caller := range p.order {
+		info := caller.Pkg.Info
+		callPos := make(map[*ast.Ident]bool) // idents that are the operator of a call
+		ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callPos[fun] = true
+				switch obj := info.Uses[fun].(type) {
+				case *types.Func:
+					addEdge(caller, obj)
+				case *types.Var:
+					if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+						dyns = append(dyns, dynCall{caller: caller, sig: sig})
+					}
+				}
+			case *ast.SelectorExpr:
+				callPos[fun.Sel] = true
+				if sel, ok := info.Selections[fun]; ok {
+					switch sel.Kind() {
+					case types.MethodVal:
+						if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+							// Interface dispatch: CHA over module types.
+							for _, impl := range implementers(named, iface, fun.Sel.Name) {
+								addEdge(caller, impl)
+							}
+						} else if m, ok := sel.Obj().(*types.Func); ok {
+							addEdge(caller, m)
+						}
+					case types.FieldVal:
+						// Calling a func-typed struct field: dynamic.
+						if sig, ok := sel.Type().Underlying().(*types.Signature); ok {
+							dyns = append(dyns, dynCall{caller: caller, sig: sig})
+						}
+					}
+				} else if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					// Qualified call of a package-level function.
+					addEdge(caller, obj)
+				}
+			default:
+				// f()(), funcs[i](), (<-ch)(): dynamic through a value.
+				if tv, ok := info.Types[call.Fun]; ok {
+					if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+						dyns = append(dyns, dynCall{caller: caller, sig: sig})
+					}
+				}
+			}
+			return true
+		})
+		// Address-taken scan: any use of a function identifier that is
+		// not the operator of a call makes the function a possible
+		// target of dynamic calls.
+		ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callPos[id] {
+				return true
+			}
+			if obj, ok := info.Uses[id].(*types.Func); ok {
+				addrTaken[obj.Origin()] = true
+			}
+			return true
+		})
+	}
+	// Package-level var initializers can also take function addresses
+	// (var handler = process).
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				ast.Inspect(gd, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if obj, ok := pkg.Info.Uses[id].(*types.Func); ok {
+							addrTaken[obj.Origin()] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 3: resolve dynamic calls by signature match.
+	var takenNodes []*Func
+	for obj := range addrTaken {
+		if node := p.funcs[obj]; node != nil {
+			takenNodes = append(takenNodes, node)
+		}
+	}
+	for _, d := range dyns {
+		for _, cand := range takenNodes {
+			if sameSignature(cand.Obj.Type().(*types.Signature), d.sig) {
+				set := edges[d.caller]
+				if set == nil {
+					set = make(map[*Func]bool)
+					edges[d.caller] = set
+				}
+				set[cand] = true
+			}
+		}
+	}
+
+	// Materialize sorted edge lists.
+	for _, caller := range p.order {
+		set := edges[caller]
+		if len(set) == 0 {
+			continue
+		}
+		for callee := range set {
+			caller.Callees = append(caller.Callees, callee)
+		}
+		sort.Slice(caller.Callees, func(i, j int) bool {
+			return posLess(p.Fset, caller.Callees[i].Decl.Pos(), caller.Callees[j].Decl.Pos())
+		})
+		for _, callee := range caller.Callees {
+			callee.Callers = append(callee.Callers, caller)
+		}
+	}
+	return p
+}
+
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}
+
+// moduleNamedTypes collects every named (non-alias, non-interface)
+// type declared in the loaded packages — the class hierarchy for CHA.
+func (p *Program) moduleNamedTypes() []*types.Named {
+	var out []*types.Named
+	for _, pkg := range p.Packages {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// implementers returns the concrete method `name` of every named type
+// (or its pointer type) that implements iface.
+func implementers(named []*types.Named, iface *types.Interface, name string) []*types.Func {
+	var out []*types.Func
+	for _, n := range named {
+		var recv types.Type
+		if types.Implements(n, iface) {
+			recv = n
+		} else if ptr := types.NewPointer(n); types.Implements(ptr, iface) {
+			recv = ptr
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, n.Obj().Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sameSignature reports whether a (possibly a method signature, whose
+// receiver is ignored) matches the call-site signature b.
+func sameSignature(a, b *types.Signature) bool {
+	if a.Variadic() != b.Variadic() {
+		return false
+	}
+	return types.Identical(a.Params(), b.Params()) &&
+		types.Identical(a.Results(), b.Results())
+}
+
+// Hot returns every function on the hot path — explicitly marked or
+// reachable from a marked function through the call graph — plus the
+// spanning tree recording how each function was first reached, for
+// diagnostic chains.
+func (p *Program) Hot() (map[*Func]bool, map[*Func]*Func) {
+	var roots []*Func
+	for _, f := range p.order {
+		if f.Marked {
+			roots = append(roots, f)
+		}
+	}
+	return p.ReachFrom(roots)
+}
+
+// ReachFrom is call-graph reachability from roots (the worklist
+// fixpoint shared with the dataflow solvers).
+func (p *Program) ReachFrom(roots []*Func) (map[*Func]bool, map[*Func]*Func) {
+	return Reach(roots, func(f *Func) []*Func { return f.Callees })
+}
+
+// Chain renders the propagation path from a root to f using the
+// spanning tree returned by Hot/ReachFrom, e.g.
+// "core.encodeBlock → bitio.grow". Chains longer than five hops are
+// elided in the middle. For a root itself it returns "".
+func Chain(from map[*Func]*Func, f *Func) string {
+	var hops []string
+	for cur := f; ; {
+		prev, ok := from[cur]
+		if !ok {
+			hops = append(hops, cur.String())
+			break
+		}
+		hops = append(hops, cur.String())
+		cur = prev
+	}
+	if len(hops) <= 1 {
+		return ""
+	}
+	// hops is f..root; reverse into root..f.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	if len(hops) > 6 {
+		hops = append(hops[:3], append([]string{"…"}, hops[len(hops)-2:]...)...)
+	}
+	return strings.Join(hops, " → ")
+}
+
+// FuncLitsIn returns the function literals nested in fn's body in
+// source order (literals inside other literals included). Their bodies
+// get their own CFGs but share fn's call-graph node.
+func FuncLitsIn(fn *ast.FuncDecl) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}

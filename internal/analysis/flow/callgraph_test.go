@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildTestProgram type-checks one source file as package path "p/p"
+// and builds its Program.
+func buildTestProgram(t *testing.T, src string) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildProgram(fset, []*PackageInfo{{Path: "p/p", Files: []*ast.File{f}, Pkg: pkg, Info: info}})
+}
+
+func findFunc(t *testing.T, p *Program, name string) *Func {
+	t.Helper()
+	for _, f := range p.Funcs() {
+		if f.Obj.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func callees(f *Func) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range f.Callees {
+		out[c.Obj.Name()] = true
+	}
+	return out
+}
+
+func TestCallGraphStaticChainAndHotPropagation(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+// kernel is the hot entry.
+//
+//pastri:hotpath
+func kernel() { helper() }
+
+func helper() { leaf() }
+
+func leaf() {}
+
+func cold() {}
+`)
+	k, h, l, c := findFunc(t, p, "kernel"), findFunc(t, p, "helper"), findFunc(t, p, "leaf"), findFunc(t, p, "cold")
+	if !k.Marked {
+		t.Fatal("kernel should be marked hot")
+	}
+	if !callees(k)["helper"] || !callees(h)["leaf"] {
+		t.Fatal("static call edges missing")
+	}
+	hot, from := p.Hot()
+	if !hot[k] || !hot[h] || !hot[l] {
+		t.Fatalf("hot propagation incomplete: %v %v %v", hot[k], hot[h], hot[l])
+	}
+	if hot[c] {
+		t.Fatal("cold function marked hot")
+	}
+	chain := Chain(from, l)
+	if !strings.Contains(chain, "kernel") || !strings.Contains(chain, "helper") {
+		t.Fatalf("chain = %q, want kernel → helper → leaf", chain)
+	}
+	if Chain(from, k) != "" {
+		t.Fatal("root should have empty chain")
+	}
+}
+
+func TestCallGraphInterfaceCHA(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+type enc interface{ encode() }
+
+type a struct{}
+
+func (a) encode() { aImpl() }
+
+type b struct{}
+
+func (*b) encode() { bImpl() }
+
+func aImpl() {}
+func bImpl() {}
+
+func drive(e enc) { e.encode() }
+`)
+	d := findFunc(t, p, "drive")
+	got := callees(d)
+	if !got["encode"] {
+		t.Fatalf("drive callees = %v, want both encode methods", got)
+	}
+	// Both implementations must be reachable from drive.
+	reached, _ := p.ReachFrom([]*Func{d})
+	names := make(map[string]bool)
+	for f := range reached {
+		names[f.Obj.Name()] = true
+	}
+	if !names["aImpl"] || !names["bImpl"] {
+		t.Fatalf("CHA missed an implementation: reached %v", names)
+	}
+}
+
+func TestCallGraphFuncValue(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+func target() {}
+
+func other(int) {}
+
+func caller() {
+	f := target
+	f()
+}
+`)
+	c := findFunc(t, p, "caller")
+	got := callees(c)
+	if !got["target"] {
+		t.Fatalf("dynamic call missed address-taken target: %v", got)
+	}
+	if got["other"] {
+		t.Fatal("signature mismatch should exclude other")
+	}
+}
+
+func TestCallGraphClosureAttribution(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+func leaf() {}
+
+func spawner() {
+	go func() {
+		leaf()
+	}()
+}
+`)
+	s := findFunc(t, p, "spawner")
+	if !callees(s)["leaf"] {
+		t.Fatal("call inside closure not attributed to enclosing function")
+	}
+}
+
+func TestCallGraphMethodStatic(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+type w struct{}
+
+func (w *w) flush() {}
+
+func use(x *w) { x.flush() }
+`)
+	u := findFunc(t, p, "use")
+	if !callees(u)["flush"] {
+		t.Fatal("concrete method call edge missing")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	p := buildTestProgram(t, `package p
+
+type w struct{}
+
+func (w *w) flush() {}
+
+func free() {}
+`)
+	if got := findFunc(t, p, "flush").String(); got != "p.(*w).flush" {
+		t.Fatalf("method String = %q", got)
+	}
+	if got := findFunc(t, p, "free").String(); got != "p.free" {
+		t.Fatalf("func String = %q", got)
+	}
+}
+
+func TestFuncLitsIn(t *testing.T) {
+	fd := parseFunc(t, `package p
+func f() {
+	g := func() { _ = func() {} }
+	g()
+}`)
+	if n := len(FuncLitsIn(fd)); n != 2 {
+		t.Fatalf("FuncLitsIn = %d, want 2 (nested literal included)", n)
+	}
+}

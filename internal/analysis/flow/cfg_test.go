@@ -1,0 +1,308 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src (a complete file) and returns its first
+// function declaration.
+func parseFunc(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// checkInvariants asserts the structural contract the fuzzer relies
+// on: mutual pred/succ consistency and every reachable block present
+// in Blocks.
+func checkInvariants(t testing.TB, g *Graph) {
+	t.Helper()
+	in := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = true
+	}
+	if !in[g.Entry] || !in[g.Exit] {
+		t.Fatal("entry or exit missing from Blocks")
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !in[s] {
+				t.Fatalf("block %d has successor outside Blocks", b.Index)
+			}
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from Preds", b.Index, s.Index)
+			}
+		}
+	}
+	for b := range g.Reachable() {
+		if !in[b] {
+			t.Fatal("reachable block outside Blocks")
+		}
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f() { x := 1; _ = x }`).Body)
+	checkInvariants(t, g)
+	if len(g.Entry.Stmts) != 2 {
+		t.Fatalf("entry stmts = %d, want 2", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("straight-line body should flow entry -> exit")
+	}
+	if g.InCycle()[g.Entry] {
+		t.Fatal("straight-line entry reported cyclic")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`).Body)
+	checkInvariants(t, g)
+	// The condition block must have two successors (then, else), and
+	// both must reach exit via their returns.
+	cond := g.Entry
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond succs = %d, want 2", len(cond.Succs))
+	}
+	for _, s := range cond.Succs {
+		if len(s.Succs) != 1 || s.Succs[0] != g.Exit {
+			t.Fatal("branch should return straight to exit")
+		}
+	}
+}
+
+func TestCFGForLoopCycle(t *testing.T) {
+	fd := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	g := New(fd.Body)
+	checkInvariants(t, g)
+	cyc := g.InCycle()
+	var cycles int
+	for _, b := range g.Blocks {
+		if cyc[b] {
+			cycles++
+		}
+	}
+	if cycles < 2 {
+		t.Fatalf("for loop should put head+body+post in a cycle, got %d cyclic blocks", cycles)
+	}
+	if cyc[g.Entry] || cyc[g.Exit] {
+		t.Fatal("entry/exit must not be cyclic")
+	}
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		s += x
+	}
+	return s
+}`).Body)
+	checkInvariants(t, g)
+	if len(g.InCycle()) == 0 {
+		t.Fatal("range loop should contain a cycle")
+	}
+}
+
+func TestCFGLabeledGotoLoop(t *testing.T) {
+	// A loop spelled with goto must still register as a cycle: that is
+	// the reason deferloop uses CFG cycles instead of syntax.
+	g := New(parseFunc(t, `package p
+func f(n int) {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+}`).Body)
+	checkInvariants(t, g)
+	if len(g.InCycle()) == 0 {
+		t.Fatal("goto loop should contain a cycle")
+	}
+}
+
+func TestCFGLabeledBreakOuter(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}`).Body)
+	checkInvariants(t, g)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`).Body)
+	checkInvariants(t, g)
+	if len(g.InCycle()) != 0 {
+		t.Fatal("switch must not create cycles")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+		return 0
+	}
+}`).Body)
+	checkInvariants(t, g)
+}
+
+func TestCFGReturnMakesUnreachable(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f() int {
+	return 1
+	x := 2 //lint:ignore unreachable on purpose
+	_ = x
+	return x
+}`).Body)
+	checkInvariants(t, g)
+	reach := g.Reachable()
+	unreachable := 0
+	for _, b := range g.Blocks {
+		if !reach[b] && len(b.Stmts) > 0 {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Fatal("statements after return should sit in an unreachable block")
+	}
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+}`).Body)
+	checkInvariants(t, g)
+	// The panic block must have the exit among its successors.
+	found := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+				for _, succ := range b.Succs {
+					if succ == g.Exit {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("panic block does not edge to exit")
+	}
+}
+
+// Dangling branches (break outside loop, goto to a missing label) are
+// semantically invalid but parseable; the builder must not panic.
+func TestCFGDanglingBranches(t *testing.T) {
+	for _, src := range []string{
+		`package p
+func f() { break }`,
+		`package p
+func f() { continue }`,
+		`package p
+func f() { goto nowhere }`,
+		`package p
+func f(x int) { switch x { case 1: fallthrough } }`,
+		`package p
+func f() { select {} }`,
+	} {
+		g := New(parseFunc(t, src).Body)
+		checkInvariants(t, g)
+	}
+}
+
+func TestBlockNodesGuardsOnly(t *testing.T) {
+	fd := parseFunc(t, `package p
+func f(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		xs[i] = 0
+	}
+}`)
+	forStmt := fd.Body.List[0].(*ast.ForStmt)
+	nodes := BlockNodes(forStmt)
+	if len(nodes) != 2 { // init, cond — not the body
+		t.Fatalf("BlockNodes(for) = %d nodes, want 2", len(nodes))
+	}
+	for _, n := range nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.AssignStmt); ok {
+				if as := x.(*ast.AssignStmt); len(as.Lhs) == 1 {
+					if _, isIndex := as.Lhs[0].(*ast.IndexExpr); isIndex {
+						t.Fatal("loop body leaked into BlockNodes")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

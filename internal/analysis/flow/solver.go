@@ -1,0 +1,156 @@
+package flow
+
+// A Lattice defines the fact domain of a dataflow analysis: the
+// initial ("bottom") fact, the join of two facts at a control-flow
+// merge, and fact equality (the solver's termination test). Join must
+// be monotone for the worklist iteration to reach a fixpoint.
+type Lattice[F any] interface {
+	Bottom() F
+	Join(a, b F) F
+	Equal(a, b F) bool
+}
+
+// A Transfer function maps a block's input fact to its output fact by
+// interpreting the block's statements.
+type Transfer[F any] func(b *Block, in F) F
+
+// Facts holds the solved per-block input and output facts.
+type Facts[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Forward runs a forward worklist dataflow analysis over g: entry
+// starts at lat.Bottom() (callers fold any boundary fact into the
+// entry block's transfer), each block's input is the join of its
+// predecessors' outputs, and iteration continues until no output
+// changes. The result maps every reachable block; unreachable blocks
+// keep bottom facts.
+func Forward[F any](g *Graph, lat Lattice[F], tf Transfer[F]) *Facts[F] {
+	res := &Facts[F]{In: make(map[*Block]F), Out: make(map[*Block]F)}
+	for _, b := range g.Blocks {
+		res.In[b] = lat.Bottom()
+		res.Out[b] = lat.Bottom()
+	}
+	wl := newWorklist[*Block]()
+	wl.push(g.Entry)
+	for {
+		b, ok := wl.pop()
+		if !ok {
+			return res
+		}
+		in := lat.Bottom()
+		if len(b.Preds) > 0 {
+			in = res.Out[b.Preds[0]]
+			for _, p := range b.Preds[1:] {
+				in = lat.Join(in, res.Out[p])
+			}
+		}
+		res.In[b] = in
+		out := tf(b, in)
+		if !lat.Equal(out, res.Out[b]) {
+			res.Out[b] = out
+			for _, s := range b.Succs {
+				wl.push(s)
+			}
+		}
+	}
+}
+
+// Backward is Forward with the edge directions reversed: a block's
+// input fact is the join of its successors' outputs and facts flow
+// from the exit toward the entry. Used for liveness-style analyses.
+func Backward[F any](g *Graph, lat Lattice[F], tf Transfer[F]) *Facts[F] {
+	res := &Facts[F]{In: make(map[*Block]F), Out: make(map[*Block]F)}
+	for _, b := range g.Blocks {
+		res.In[b] = lat.Bottom()
+		res.Out[b] = lat.Bottom()
+	}
+	wl := newWorklist[*Block]()
+	wl.push(g.Exit)
+	for {
+		b, ok := wl.pop()
+		if !ok {
+			return res
+		}
+		in := lat.Bottom()
+		if len(b.Succs) > 0 {
+			in = res.Out[b.Succs[0]]
+			for _, s := range b.Succs[1:] {
+				in = lat.Join(in, res.Out[s])
+			}
+		}
+		res.In[b] = in
+		out := tf(b, in)
+		if !lat.Equal(out, res.Out[b]) {
+			res.Out[b] = out
+			for _, p := range b.Preds {
+				wl.push(p)
+			}
+		}
+	}
+}
+
+// worklist is a FIFO queue with membership dedup: pushing a node
+// already queued is a no-op, so each node is processed once per
+// invalidation instead of once per edge. The same structure drives
+// both the CFG solvers above and the call-graph fixpoints in
+// callgraph.go.
+type worklist[N comparable] struct {
+	queue  []N
+	queued map[N]bool
+}
+
+func newWorklist[N comparable]() *worklist[N] {
+	return &worklist[N]{queued: make(map[N]bool)}
+}
+
+func (w *worklist[N]) push(n N) {
+	if w.queued[n] {
+		return
+	}
+	w.queued[n] = true
+	w.queue = append(w.queue, n)
+}
+
+func (w *worklist[N]) pop() (N, bool) {
+	if len(w.queue) == 0 {
+		var zero N
+		return zero, false
+	}
+	n := w.queue[0]
+	w.queue = w.queue[1:]
+	w.queued[n] = false
+	return n, true
+}
+
+// Reach computes the forward-reachable set from roots over an
+// arbitrary successor function, using the same worklist discipline as
+// the dataflow solvers. The returned map also records, for every
+// reached node other than a root, the node it was first reached from
+// (a shortest-hop spanning tree), which analyzers use to print the
+// propagation chain in diagnostics.
+func Reach[N comparable](roots []N, succs func(N) []N) (reached map[N]bool, from map[N]N) {
+	reached = make(map[N]bool)
+	from = make(map[N]N)
+	wl := newWorklist[N]()
+	for _, r := range roots {
+		if !reached[r] {
+			reached[r] = true
+			wl.push(r)
+		}
+	}
+	for {
+		n, ok := wl.pop()
+		if !ok {
+			return reached, from
+		}
+		for _, s := range succs(n) {
+			if !reached[s] {
+				reached[s] = true
+				from[s] = n
+				wl.push(s)
+			}
+		}
+	}
+}

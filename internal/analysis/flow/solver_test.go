@@ -1,0 +1,139 @@
+package flow
+
+import "testing"
+
+// intSetLattice: sets of ints, join = union — the shape most analyzer
+// facts take (may-analyses).
+type intSetLattice struct{}
+
+func (intSetLattice) Bottom() map[int]bool { return nil }
+
+func (intSetLattice) Join(a, b map[int]bool) map[int]bool {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (intSetLattice) Equal(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestForwardFixpointLoop checks that facts generated inside a loop
+// body reach the loop head through the back edge — the property that
+// distinguishes a fixpoint solver from a single pass.
+func TestForwardFixpointLoop(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`).Body)
+
+	// Transfer: each block adds its own index to the fact set.
+	facts := Forward[map[int]bool](g, intSetLattice{}, func(b *Block, in map[int]bool) map[int]bool {
+		out := make(map[int]bool, len(in)+1)
+		for k := range in {
+			out[k] = true
+		}
+		out[b.Index] = true
+		return out
+	})
+
+	// Find the loop head: a reachable cyclic block. Its IN fact must
+	// contain indices of blocks inside the loop (flowed around the back
+	// edge), not just its forward predecessors.
+	cyc := g.InCycle()
+	reach := g.Reachable()
+	var head *Block
+	for _, b := range g.Blocks {
+		if cyc[b] && reach[b] {
+			head = b
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no cyclic block found")
+	}
+	in := facts.In[head]
+	backedge := false
+	for idx := range in {
+		if cyc[g.Blocks[idx]] && g.Blocks[idx] != head {
+			backedge = true
+		}
+	}
+	if !backedge {
+		t.Fatalf("loop head IN fact %v lacks facts from the loop body (back edge not solved)", in)
+	}
+}
+
+func TestBackwardReachesEntry(t *testing.T) {
+	g := New(parseFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`).Body)
+	facts := Backward[map[int]bool](g, intSetLattice{}, func(b *Block, in map[int]bool) map[int]bool {
+		out := map[int]bool{b.Index: true}
+		for k := range in {
+			out[k] = true
+		}
+		return out
+	})
+	// Entry's OUT must include the exit's index: facts flowed all the
+	// way backward.
+	if !facts.Out[g.Entry][g.Exit.Index] {
+		t.Fatalf("backward solve did not propagate exit fact to entry: %v", facts.Out[g.Entry])
+	}
+}
+
+func TestWorklistDedup(t *testing.T) {
+	wl := newWorklist[int]()
+	wl.push(1)
+	wl.push(1)
+	wl.push(2)
+	if n, ok := wl.pop(); !ok || n != 1 {
+		t.Fatal("pop != 1")
+	}
+	if n, ok := wl.pop(); !ok || n != 2 {
+		t.Fatal("pop != 2")
+	}
+	if _, ok := wl.pop(); ok {
+		t.Fatal("queue should be empty (dup suppressed)")
+	}
+}
+
+func TestReachChain(t *testing.T) {
+	// Tiny graph: 1 -> 2 -> 3, 4 isolated.
+	succs := map[int][]int{1: {2}, 2: {3}}
+	reached, from := Reach([]int{1}, func(n int) []int { return succs[n] })
+	if !reached[1] || !reached[2] || !reached[3] || reached[4] {
+		t.Fatalf("reached = %v", reached)
+	}
+	if from[3] != 2 || from[2] != 1 {
+		t.Fatalf("from = %v", from)
+	}
+	if _, ok := from[1]; ok {
+		t.Fatal("root must not have a from entry")
+	}
+}

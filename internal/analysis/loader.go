@@ -22,6 +22,7 @@ import (
 type Package struct {
 	Path    string // import path, e.g. "repro/internal/bitio"
 	ModPath string // module path, e.g. "repro"
+	ModRoot string // module root directory; "" when positions are already relative
 	Dir     string
 	Fset    *token.FileSet
 	Files   []*ast.File
@@ -296,6 +297,7 @@ func (l *Loader) typeCheckDir(path, dir string) (*Package, error) {
 	return &Package{
 		Path:    path,
 		ModPath: l.modPath,
+		ModRoot: l.modRoot,
 		Dir:     dir,
 		Fset:    l.Fset,
 		Files:   files,

@@ -39,7 +39,8 @@ func TestLoaderRecursiveSkipsTestdata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/analysis" {
+	if len(pkgs) != 2 || pkgs[0].Path != "repro/internal/analysis" ||
+		pkgs[1].Path != "repro/internal/analysis/flow" {
 		t.Fatalf("Load(./internal/analysis/...) = %d packages", len(pkgs))
 	}
 }

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SARIF 2.1.0 output, so pastrilint findings can be ingested by code
+// scanning UIs (GitHub code scanning, VS Code SARIF viewer). Only the
+// subset of the format the suite needs is modeled; ValidateSARIF checks
+// the produced document against the schema's structural requirements
+// and runs in a golden test so the writer cannot drift.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// A Rule describes one analyzer for the SARIF rules table.
+type Rule struct {
+	Name string
+	Doc  string
+}
+
+// SuiteRules returns the rule descriptors for the given analyzer sets,
+// in reporting order.
+func SuiteRules(pas []*Analyzer, mas []*ModuleAnalyzer) []Rule {
+	var rules []Rule
+	for _, a := range pas {
+		rules = append(rules, Rule{Name: a.Name, Doc: a.Doc})
+	}
+	for _, a := range mas {
+		rules = append(rules, Rule{Name: a.Name, Doc: a.Doc})
+	}
+	return rules
+}
+
+// SARIFReport renders findings as an indented SARIF 2.1.0 document.
+// Every finding's analyzer must appear in rules; file paths are emitted
+// relative to the SRCROOT base (the module root).
+func SARIFReport(rules []Rule, findings []Finding) ([]byte, error) {
+	index := make(map[string]int, len(rules))
+	sr := make([]sarifRule, len(rules))
+	for i, r := range rules {
+		index[r.Name] = i
+		sr[i] = sarifRule{ID: r.Name, ShortDescription: sarifMessage{Text: r.Doc}}
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ri, ok := index[f.Analyzer]
+		if !ok {
+			return nil, fmt.Errorf("sarif: finding from analyzer %q has no rule descriptor", f.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ri,
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "SRCROOT"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pastrilint", Rules: sr}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ValidateSARIF checks a document against the structural requirements
+// of the SARIF 2.1.0 schema: version is the literal "2.1.0", runs is
+// present, each run's tool.driver has a name, each result has a
+// message.text, a ruleId whose ruleIndex points into the driver's rules
+// table, and locations with a uri and a 1-based startLine. It decodes
+// into generic JSON rather than the writer's own structs so it catches
+// writer bugs instead of inheriting them.
+func ValidateSARIF(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	if v, _ := doc["version"].(string); v != sarifVersion {
+		return fmt.Errorf("sarif: version = %v, schema requires %q", doc["version"], sarifVersion)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok {
+		return fmt.Errorf("sarif: missing required property runs")
+	}
+	for ri, rv := range runs {
+		run, ok := rv.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] is not an object", ri)
+		}
+		tool, ok := run["tool"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d] missing required property tool", ri)
+		}
+		driver, ok := tool["driver"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("sarif: runs[%d].tool missing required property driver", ri)
+		}
+		if name, _ := driver["name"].(string); name == "" {
+			return fmt.Errorf("sarif: runs[%d].tool.driver missing required property name", ri)
+		}
+		rules, _ := driver["rules"].([]any)
+		ruleIDs := make([]string, len(rules))
+		for i, rl := range rules {
+			rule, ok := rl.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: runs[%d] rules[%d] is not an object", ri, i)
+			}
+			id, _ := rule["id"].(string)
+			if id == "" {
+				return fmt.Errorf("sarif: runs[%d] rules[%d] missing required property id", ri, i)
+			}
+			ruleIDs[i] = id
+		}
+		results, ok := run["results"].([]any)
+		if !ok {
+			continue // results is optional in the schema
+		}
+		for i, resv := range results {
+			res, ok := resv.(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: runs[%d].results[%d] is not an object", ri, i)
+			}
+			msg, ok := res["message"].(map[string]any)
+			if !ok {
+				return fmt.Errorf("sarif: runs[%d].results[%d] missing required property message", ri, i)
+			}
+			if text, _ := msg["text"].(string); text == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d].message has no text", ri, i)
+			}
+			ruleID, _ := res["ruleId"].(string)
+			if idxv, present := res["ruleIndex"]; present {
+				idx, ok := idxv.(float64)
+				if !ok || idx != float64(int(idx)) || int(idx) < 0 || int(idx) >= len(ruleIDs) { //lint:floatcmp-ok integrality check: exact when idx is a whole JSON number
+					return fmt.Errorf("sarif: runs[%d].results[%d].ruleIndex %v out of range", ri, i, idxv)
+				}
+				if ruleID != "" && ruleIDs[int(idx)] != ruleID {
+					return fmt.Errorf("sarif: runs[%d].results[%d] ruleId %q does not match rules[%d]=%q",
+						ri, i, ruleID, int(idx), ruleIDs[int(idx)])
+				}
+			}
+			locs, _ := res["locations"].([]any)
+			for j, lv := range locs {
+				loc, _ := lv.(map[string]any)
+				phys, _ := loc["physicalLocation"].(map[string]any)
+				if phys == nil {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] has no physicalLocation", ri, i, j)
+				}
+				art, _ := phys["artifactLocation"].(map[string]any)
+				if uri, _ := art["uri"].(string); uri == "" {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] has no artifactLocation.uri", ri, i, j)
+				}
+				if reg, _ := phys["region"].(map[string]any); reg != nil {
+					if sl, _ := reg["startLine"].(float64); sl < 1 {
+						return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d].region.startLine %v < 1", ri, i, j, reg["startLine"])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+var sarifTestFindings = []Finding{
+	{Analyzer: "detlint", File: "internal/core/a.go", Line: 12, Col: 3,
+		Message: "range over a map in CompressStream: iteration order is nondeterministic"},
+	{Analyzer: "hotalloc2", File: "internal/core/b.go", Line: 7, Col: 10,
+		Message: "make in hot function kernel allocates on every call"},
+}
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 document for a fixed pair
+// of findings and checks it against the structural validator — the
+// golden keeps the writer's shape stable, the validator keeps it legal.
+// Regenerate by deleting testdata/sarif.golden.json and re-running.
+func TestSARIFGolden(t *testing.T) {
+	rules := SuiteRules(All(), AllModule())
+	doc, err := SARIFReport(rules, sarifTestFindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSARIF(doc); err != nil {
+		t.Fatalf("generated document fails schema validation: %v", err)
+	}
+	const goldenPath = "testdata/sarif.golden.json"
+	golden, err := os.ReadFile(goldenPath)
+	if os.IsNotExist(err) {
+		if werr := os.WriteFile(goldenPath, doc, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Fatalf("wrote new golden %s; re-run the test", goldenPath)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, golden) {
+		t.Fatalf("SARIF output differs from %s; delete the golden and re-run to regenerate\ngot:\n%s", goldenPath, doc)
+	}
+	if err := ValidateSARIF(golden); err != nil {
+		t.Fatalf("committed golden fails schema validation: %v", err)
+	}
+}
+
+func TestSARIFRejectsUnknownAnalyzer(t *testing.T) {
+	_, err := SARIFReport([]Rule{{Name: "floatcmp", Doc: "d"}},
+		[]Finding{{Analyzer: "nosuch", File: "a.go", Line: 1, Col: 1, Message: "m"}})
+	if err == nil || !strings.Contains(err.Error(), "no rule descriptor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateSARIFCatchesViolations(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`not json`, "not valid JSON"},
+		{`{"version":"2.0.0","runs":[]}`, "schema requires"},
+		{`{"version":"2.1.0"}`, "missing required property runs"},
+		{`{"version":"2.1.0","runs":[{}]}`, "missing required property tool"},
+		{`{"version":"2.1.0","runs":[{"tool":{}}]}`, "missing required property driver"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{}}}]}`, "missing required property name"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},"results":[{}]}]}`,
+			"missing required property message"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[{"id":"r"}]}},
+			"results":[{"message":{"text":"m"},"ruleId":"r","ruleIndex":5}]}]}`,
+			"ruleIndex 5 out of range"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[{"id":"r"},{"id":"s"}]}},
+			"results":[{"message":{"text":"m"},"ruleId":"r","ruleIndex":1}]}]}`,
+			"does not match"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},
+			"results":[{"message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{}}}]}]}]}`,
+			"no artifactLocation.uri"},
+		{`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},
+			"results":[{"message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":0}}}]}]}]}`,
+			"startLine"},
+	}
+	for _, c := range cases {
+		err := ValidateSARIF([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ValidateSARIF(%.60s...) err = %v, want containing %q", c.doc, err, c.want)
+		}
+	}
+}

@@ -19,7 +19,7 @@ import (
 // Explanatory prose after the marker is encouraged — the marker is a
 // claim about an invariant, and the prose is where the invariant gets
 // stated for the next reader.
-var suppressRe = regexp.MustCompile(`lint:([a-z]+)-ok\b`)
+var suppressRe = regexp.MustCompile(`lint:([a-z][a-z0-9]*)-ok\b`)
 
 type suppressionSet struct {
 	// byFile maps filename -> line -> analyzer names silenced there.
@@ -57,9 +57,15 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet
 }
 
 func (s *suppressionSet) suppressed(d Diagnostic) bool {
+	return s.suppressedAs(d, d.Analyzer)
+}
+
+// suppressedAs checks the marker under a specific name, so analyzers
+// can honor legacy marker spellings (see ModuleAnalyzer.Suppress).
+func (s *suppressionSet) suppressedAs(d Diagnostic, name string) bool {
 	lines := s.byFile[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[d.Pos.Line][d.Analyzer]
+	return lines[d.Pos.Line][name]
 }

@@ -1,0 +1,54 @@
+package fixtures
+
+import "sync/atomic"
+
+// collector mimics the lock-free telemetry collector: hits and drops
+// are updated atomically from many goroutines.
+type collector struct {
+	hits  uint64
+	drops uint64
+	name  string // never atomic: plain access is fine
+}
+
+func (c *collector) record() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64((&c.drops), 1) // parens around the operand are fine
+}
+
+func (c *collector) snapshot() (uint64, uint64) {
+	return atomic.LoadUint64(&c.hits), atomic.LoadUint64(&c.drops)
+}
+
+// Positives: plain loads and stores of atomically-used fields.
+
+func (c *collector) racyRead() uint64 {
+	return c.hits // want "struct field hits is accessed with sync/atomic at"
+}
+
+func (c *collector) racyReset() {
+	c.drops = 0 // want "struct field drops is accessed with sync/atomic at"
+}
+
+// Suppressed: initialization before the collector is shared.
+
+func newCollector() *collector {
+	c := &collector{}
+	c.hits = 0 //lint:atomicmix-ok not yet visible to other goroutines
+	return c
+}
+
+// Clean: fields never touched by sync/atomic may be accessed freely.
+
+func (c *collector) label() string {
+	return c.name
+}
+
+// Clean: a different struct whose counter is only ever plain.
+
+type plainBox struct {
+	n int
+}
+
+func (b *plainBox) bump() {
+	b.n++
+}

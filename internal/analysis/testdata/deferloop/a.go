@@ -1,0 +1,85 @@
+package fixtures
+
+import "sync"
+
+var mu sync.Mutex
+
+// Positives: defers that pile up inside loops of hot functions.
+
+//pastri:hotpath
+func drainBlocks(blocks [][]byte) int {
+	n := 0
+	for _, b := range blocks {
+		mu.Lock()
+		defer mu.Unlock() // want "defer inside a loop in hot function drainBlocks"
+		n += len(b)
+	}
+	return n
+}
+
+// A loop spelled with goto is still a loop on the CFG.
+//
+//pastri:hotpath
+func gotoLoop(n int) {
+	i := 0
+again:
+	if i < n {
+		defer mu.Unlock() // want "defer inside a loop in hot function gotoLoop"
+		i++
+		goto again
+	}
+}
+
+// Interprocedural: the helper inherits hotness from the marked root.
+//
+//pastri:hotpath
+func hotRoot(blocks [][]byte) {
+	flushAll(blocks)
+}
+
+func flushAll(blocks [][]byte) {
+	for range blocks {
+		defer mu.Unlock() // want "defer inside a loop in hot function flushAll \\(hot via fixtures.hotRoot → fixtures.flushAll\\)"
+	}
+}
+
+// Suppressed: a bounded two-iteration loop where the pile-up is
+// intentional.
+//
+//pastri:hotpath
+func annotated() {
+	for i := 0; i < 2; i++ {
+		defer mu.Unlock() //lint:deferloop-ok bounded to two iterations by construction
+	}
+}
+
+// Clean: defer before or after the loop, not inside it.
+
+//pastri:hotpath
+func deferOutside(blocks [][]byte) {
+	mu.Lock()
+	defer mu.Unlock()
+	for range blocks {
+	}
+}
+
+// Clean: the defer lives in a function literal called per iteration —
+// it unwinds when the literal returns, not at the end of the loop.
+
+//pastri:hotpath
+func deferInClosure(blocks [][]byte) {
+	for range blocks {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}
+
+// Clean: cold functions may defer in loops.
+
+func coldDrain(blocks [][]byte) {
+	for range blocks {
+		defer mu.Unlock()
+	}
+}

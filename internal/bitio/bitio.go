@@ -33,7 +33,7 @@ type Writer struct {
 
 // NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
 func NewWriter(sizeHint int) *Writer {
-	return &Writer{buf: make([]byte, 0, sizeHint)}
+	return &Writer{buf: make([]byte, 0, sizeHint)} //lint:hotalloc2-ok one sized buffer per writer; Reset reuses it across payloads
 }
 
 // Reset discards all written data, retaining the allocated buffer.

@@ -81,14 +81,14 @@ func (e *BlockEncoder) reset(cfg Config) {
 // capacity is insufficient. Contents are unspecified.
 func growI64(s []int64, n int) []int64 {
 	if cap(s) < n {
-		return make([]int64, n)
+		return make([]int64, n) //lint:hotalloc2-ok grow path: reallocates only until scratch reaches steady-state capacity
 	}
 	return s[:n]
 }
 
 func growFloat64(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //lint:hotalloc2-ok grow path: reallocates only until scratch reaches steady-state capacity
 	}
 	return s[:n]
 }

@@ -88,6 +88,7 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 	cfg.Collector.StageEnd(telemetry.StageBlockSplit, tSplit)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
+		//lint:hotalloc2-ok one worker closure per goroutine at stream start, not per block
 		go func() {
 			defer wg.Done()
 			enc := getEncoder(cfg)

@@ -70,7 +70,7 @@ type Stats struct {
 
 // NewStats returns an empty accumulator.
 func NewStats() *Stats {
-	return &Stats{ECbMaxHist: make(map[uint]uint64)}
+	return &Stats{ECbMaxHist: make(map[uint]uint64)} //lint:hotalloc2-ok one histogram map per stream accumulator
 }
 
 func (s *Stats) recordBlock(ecq []int64, ecbMax uint, pqBits, sqBits, ecqBits, headerBits uint64, sparse bool) {
@@ -112,9 +112,9 @@ func (s *Stats) Merge(other *Stats) {
 	s.ECQBits += other.ECQBits
 	s.HeaderBits += other.HeaderBits
 	if s.ECbMaxHist == nil {
-		s.ECbMaxHist = make(map[uint]uint64)
+		s.ECbMaxHist = make(map[uint]uint64) //lint:hotalloc2-ok lazy init, at most once per accumulator
 	}
-	for k, v := range other.ECbMaxHist {
+	for k, v := range other.ECbMaxHist { //lint:detlint-ok map-to-map addition is commutative; iteration order cannot change the result
 		s.ECbMaxHist[k] += v
 	}
 	s.SparseBlocks += other.SparseBlocks

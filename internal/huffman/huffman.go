@@ -69,7 +69,7 @@ func (h *hheap) Pop() interface{} {
 // one symbol must have nonzero frequency.
 func New(freqs map[uint32]uint64) (*Codec, error) {
 	var nodes hheap
-	for sym, f := range freqs {
+	for sym, f := range freqs { //lint:detlint-ok collection order is neutralized by the deterministic sort below
 		if f > 0 {
 			nodes = append(nodes, &hnode{freq: f, symbol: sym})
 		}

@@ -117,7 +117,7 @@ func (sc *Scratch) Analyze(block []float64, numSB, sbSize int, m Metric) (Result
 // capacity is insufficient. Contents are unspecified.
 func growF64(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //lint:hotalloc2-ok grow path: reallocates only until scratch reaches steady-state capacity
 	}
 	return s[:n]
 }

@@ -197,15 +197,15 @@ func (fr *FlightRecorder) observeCompress(c *Collector, rec TraceRecord, origina
 	baseline := fr.comp
 	fr.writeArtifactLocked(&FlightArtifact{
 		Reason:        reason,
-		UnixNanos:     time.Now().UnixNano(),
+		UnixNanos:     time.Now().UnixNano(), //lint:detlint-ok artifact timestamp is telemetry metadata, never encoder input
 		ErrorBound:    fr.cfg.ErrorBound,
 		Record:        rec,
 		BaselineMean:  baseline.mean,
 		BaselineStd:   baseline.stddev(),
 		BaselineN:     baseline.n,
 		Traces:        c.ring.snapshot(),
-		Original:      append([]float64(nil), original...),
-		Reconstructed: append([]float64(nil), reconstructed...),
+		Original:      append([]float64(nil), original...), //lint:hotalloc2-ok anomaly path bounded by MaxArtifacts; the artifact must own a copy
+		Reconstructed: append([]float64(nil), reconstructed...), //lint:hotalloc2-ok anomaly path bounded by MaxArtifacts; the artifact must own a copy
 	})
 	fr.mu.Unlock()
 }
@@ -247,7 +247,8 @@ func (fr *FlightRecorder) writeArtifactLocked(a *FlightArtifact) {
 	if fr.cfg.Dir == "" || len(fr.artifacts) >= fr.cfg.MaxArtifacts {
 		return
 	}
-	path := filepath.Join(fr.cfg.Dir, fmt.Sprintf("flight-%04d-%s.json", len(fr.artifacts), a.Reason))
+	path := filepath.Join(fr.cfg.Dir, fmt.Sprintf("flight-%04d-%s.json", len(fr.artifacts), a.Reason)) //lint:hotalloc2-ok anomaly path bounded by MaxArtifacts
+	//lint:hotalloc2-ok anomaly path bounded by MaxArtifacts
 	err := func() error {
 		if err := os.MkdirAll(fr.cfg.Dir, 0o755); err != nil {
 			return err
@@ -256,7 +257,7 @@ func (fr *FlightRecorder) writeArtifactLocked(a *FlightArtifact) {
 		if err != nil {
 			return err
 		}
-		return os.WriteFile(path, append(b, '\n'), 0o644)
+		return os.WriteFile(path, append(b, '\n'), 0o644) //lint:hotalloc2-ok anomaly path: trailing newline on a fresh JSON buffer
 	}()
 	if err != nil {
 		if fr.writeErr == nil {

@@ -247,7 +247,7 @@ func (c *Collector) StageStart() time.Time {
 	if c == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return time.Now() //lint:detlint-ok telemetry only: stage durations are exported, never steer encoding
 }
 
 // StageEnd records the elapsed time since start against stage s. It is
@@ -258,7 +258,7 @@ func (c *Collector) StageEnd(s Stage, start time.Time) {
 	if c == nil || start.IsZero() {
 		return
 	}
-	c.stages[s].observe(time.Since(start))
+	c.stages[s].observe(time.Since(start)) //lint:detlint-ok telemetry only: stage durations are exported, never steer encoding
 }
 
 // A Timer records one stage interval when stopped. The zero Timer is a
@@ -276,7 +276,7 @@ func (c *Collector) Timer(s Stage) Timer {
 	if c == nil {
 		return Timer{}
 	}
-	return Timer{c: c, s: s, start: time.Now()}
+	return Timer{c: c, s: s, start: time.Now()} //lint:detlint-ok telemetry only: stage durations are exported, never steer encoding
 }
 
 // Stop records the interval since the timer started.
@@ -284,7 +284,7 @@ func (t Timer) Stop() {
 	if t.c == nil {
 		return
 	}
-	t.c.stages[t.s].observe(time.Since(t.start))
+	t.c.stages[t.s].observe(time.Since(t.start)) //lint:detlint-ok telemetry only: stage durations are exported, never steer encoding
 }
 
 // RecordBlock accounts one compressed block: counters, the payload
@@ -445,7 +445,7 @@ func (r *traceRing) snapshot() []TraceRecord {
 	if count > depth {
 		count = depth
 	}
-	out := make([]TraceRecord, 0, count)
+	out := make([]TraceRecord, 0, count) //lint:hotalloc2-ok anomaly path: snapshots are taken only when writing a flight artifact
 	for i := n - count; i < n; i++ {
 		out = append(out, r.recs[i%depth])
 	}
