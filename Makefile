@@ -9,7 +9,7 @@ FUZZTIME ?= 5s
 # PR; the floor leaves a small margin for refactors).
 COVER_THRESHOLD ?= 88.0
 
-.PHONY: build test vet lint lint-sarif lint-selftest race fuzz-smoke bench-smoke bench-json bench-gate cover verify clean
+.PHONY: build test vet lint lint-sarif lint-selftest race fuzz-smoke bench-smoke bench-json bench-gate cover serve-test cover-serve verify clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/sz
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/zfp
 	$(GO) test -run='^$$' -fuzz=FuzzCFGBuild$$ -fuzztime=$(FUZZTIME) ./internal/analysis/flow
+	$(GO) test -run='^$$' -fuzz=FuzzStoreOpen$$ -fuzztime=$(FUZZTIME) ./internal/store
 
 # bench-smoke: execute (not measure) the perf-sensitive benchmarks once
 # each, so a PR that breaks the telemetry zero-cost path or the parallel
@@ -121,9 +122,33 @@ cover:
 			printf "combined core+encoding coverage: %s%% (floor $(COVER_THRESHOLD)%%)\n", pct; \
 			if (pct + 0 < $(COVER_THRESHOLD)) { exit 1 } }'
 
-verify: build test vet lint lint-selftest race fuzz-smoke bench-smoke bench-gate cover
+# serve-test: the pastrid service battery — store fault injection,
+# cache correctness, the HTTP integration tests (golden fixtures at
+# worker counts 1/4/7, wire-protocol goldens) and the client-fleet
+# smoke, all under the race detector — then a pastrid-bench fleet run
+# whose report and Prometheus scrape CI uploads as artifacts. The bench
+# exits nonzero on any correctness failure.
+serve-test:
+	$(GO) test -race -count=1 ./internal/store ./internal/blockcache ./internal/server ./internal/server/loadtest
+	$(GO) run ./cmd/pastrid-bench -writers 8 -readers 24 -reads 60 -blocks 12 \
+		-out bench_serve_smoke.json -metricsout pastrid_scrape.txt
+
+# cover-serve: combined statement coverage of the serving stack
+# (internal/server + internal/store + internal/blockcache); fails below
+# COVER_SERVE_THRESHOLD (established at 83.1% by the pastrid PR).
+COVER_SERVE_THRESHOLD ?= 80.0
+cover-serve:
+	$(GO) test -coverprofile=cover_serve.out \
+		-coverpkg=repro/internal/server,repro/internal/store,repro/internal/blockcache \
+		./internal/server/... ./internal/store ./internal/blockcache
+	@$(GO) tool cover -func=cover_serve.out | awk ' \
+		$$1 == "total:" { pct = $$3; sub(/%/, "", pct); \
+			printf "combined server+store+blockcache coverage: %s%% (floor $(COVER_SERVE_THRESHOLD)%%)\n", pct; \
+			if (pct + 0 < $(COVER_SERVE_THRESHOLD)) { exit 1 } }'
+
+verify: build test vet lint lint-selftest race fuzz-smoke bench-smoke bench-gate cover serve-test cover-serve
 	@echo "verify: OK"
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out bench_current.txt bench_gate.txt bench_gate.json pastrilint.sarif
+	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrilint.sarif

@@ -1,0 +1,179 @@
+// Command pastrid-bench runs the synthetic client fleet against an
+// in-process pastrid instance and writes the latency/correctness
+// report consumed by the PR 7 acceptance gate.
+//
+// Usage:
+//
+//	pastrid-bench -writers 50 -readers 200 -out BENCH_PR7.json
+//	pastrid-bench -writers 4 -readers 8 -reads 50 -out - # smoke, stdout
+//
+// The fleet uploads deterministic ERI-shaped streams (N concurrent
+// writers), then hammers random-access block reads (M concurrent
+// readers), byte-comparing every response against a locally computed
+// serial compress→decompress oracle. The report includes p50/p90/p99
+// latency per phase, the cache hit rate, and the correctness failure
+// count — which must be zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/loadtest"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fleet := loadtest.DefaultConfig()
+	var (
+		writers    = flag.Int("writers", 50, "concurrent uploading clients")
+		readers    = flag.Int("readers", 200, "concurrent random-access readers")
+		streams    = flag.Int("streams", 2, "streams per writer")
+		blocks     = flag.Int("blocks", 24, "blocks per stream")
+		reads      = flag.Int("reads", 300, "block reads per reader")
+		numSB      = flag.Int("numsb", fleet.NumSB, "sub-blocks per block")
+		sbSize     = flag.Int("sbsize", fleet.SBSize, "points per sub-block")
+		eb         = flag.Float64("eb", fleet.ErrorBound, "absolute error bound")
+		workers    = flag.Int("workers", 0, "server compression workers (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cachebytes", 256<<10, "decoded-block cache capacity")
+		seed       = flag.Uint64("seed", 1, "fleet data/access seed")
+		outPath    = flag.String("out", "BENCH_PR7.json", `report path ("-" = stdout)`)
+		scrapePath = flag.String("metricsout", "", "also write a final Prometheus scrape to this path")
+	)
+	flag.Parse()
+
+	fleet.Writers = *writers
+	fleet.Readers = *readers
+	fleet.StreamsPerWriter = *streams
+	fleet.BlocksPerStream = *blocks
+	fleet.ReadsPerReader = *reads
+	fleet.NumSB = *numSB
+	fleet.SBSize = *sbSize
+	fleet.ErrorBound = *eb
+	fleet.Seed = *seed
+
+	storeDir, err := os.MkdirTemp("", "pastrid-bench-store-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+		return 1
+	}
+	defer os.RemoveAll(storeDir) //lint:errdrop-ok best-effort temp cleanup
+
+	scfg := server.DefaultConfig()
+	scfg.Listen = "127.0.0.1:0"
+	scfg.StoreDir = storeDir
+	scfg.CacheBytes = *cacheBytes
+	scfg.Workers = *workers
+	scfg.NumSB = fleet.NumSB
+	scfg.SBSize = fleet.SBSize
+	scfg.DefaultErrorBound = fleet.ErrorBound
+	scfg.Tenants = make(map[string]server.TenantConfig, len(fleet.Tenants))
+	for _, tn := range fleet.Tenants {
+		scfg.Tenants[tn] = server.TenantConfig{}
+	}
+	srv, err := server.New(scfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", scfg.Listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+		return 1
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeListener(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	// The fleet holds writers+readers connections concurrently; the
+	// default transport would throttle them to two per host.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = *writers + *readers
+	transport.MaxIdleConnsPerHost = *writers + *readers
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+
+	res, err := loadtest.Run(fleet, loadtest.Target{
+		BaseURL:    baseURL,
+		Client:     client,
+		CacheStats: srv.CacheStats,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+		return 1
+	}
+
+	if *scrapePath != "" {
+		if err := writeScrape(client, baseURL, *scrapePath); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid-bench: scrape:", err)
+			return 1
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench: shutdown:", err)
+		return 1
+	}
+	if err := <-serveDone; err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench: serve:", err)
+		return 1
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+			}
+		}()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
+		return 1
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"pastrid-bench: %d uploads, %d reads, %d correctness failures, read p50=%dus p99=%dus, cache hit rate %.3f\n",
+		res.Uploads, res.Reads, res.CorrectnessFailures,
+		res.ReadLatency.P50, res.ReadLatency.P99, res.CacheHitRate)
+	if res.CorrectnessFailures != 0 || res.UploadFailures != 0 || res.ReadFailures != 0 {
+		fmt.Fprintln(os.Stderr, "pastrid-bench: FAILURES:", res.FirstError)
+		return 1
+	}
+	return 0
+}
+
+func writeScrape(client *http.Client, baseURL, path string) error {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return os.WriteFile(path, body, 0o644)
+}

@@ -1,0 +1,133 @@
+// Command pastrid is the PaSTRI network compression daemon: it accepts
+// raw ERI block streams over HTTP, compresses them through the
+// deterministic parallel pipeline, persists them in a sharded
+// checksummed block store, and serves random-access block reads through
+// an LRU cache of hot decoded blocks.
+//
+// Usage:
+//
+//	pastrid -config pastrid.json
+//	pastrid -config pastrid.json -log json -loglevel debug
+//	pastrid -printconfig              # show the built-in defaults
+//
+// The config file is JSON (see internal/server.Config); it names the
+// listen address, store root, cache size, block geometry, and the
+// closed set of tenants with their error bounds and quotas. SIGINT or
+// SIGTERM triggers a graceful shutdown that drains in-flight uploads —
+// including compressions mid-stream — before closing the store.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		configPath  = flag.String("config", "", "path to the JSON service config (required)")
+		logMode     = flag.String("log", "text", "log format: text or json")
+		logLevel    = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+		drainSecs   = flag.Int("drain", 30, "graceful shutdown drain budget in seconds")
+		printConfig = flag.Bool("printconfig", false, "print the default config as JSON and exit")
+	)
+	flag.Parse()
+
+	if *printConfig {
+		def := server.DefaultConfig()
+		def.StoreDir = "/var/lib/pastrid"
+		def.Tenants = map[string]server.TenantConfig{
+			"example": {ErrorBound: 1e-10, QuotaBytes: 1 << 30},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(def); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid:", err)
+			return 1
+		}
+		return 0
+	}
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "pastrid: -config is required (see -printconfig for the shape)")
+		return 2
+	}
+
+	logger, err := buildLogger(*logMode, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid:", err)
+		return 2
+	}
+	cfg, err := server.LoadConfig(*configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid:", err)
+		return 1
+	}
+	srv, err := server.New(cfg, logger)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid:", err)
+		return 1
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		logger.Info("shutdown signal", "signal", sig.String(), "drain_seconds", *drainSecs)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "error", err.Error())
+			return 1
+		}
+		if err := <-serveDone; err != nil {
+			logger.Error("serve", "error", err.Error())
+			return 1
+		}
+	case err := <-serveDone:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func buildLogger(mode, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -loglevel %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log %q", mode)
+	}
+}

@@ -127,3 +127,15 @@ func (r *BlockReader) ReadBlock(b int, dst []float64) error {
 func (r *BlockReader) CompressedBlockBytes(b int) int {
 	return r.spans[b].hi - r.spans[b].lo
 }
+
+// BlockSpan returns the byte offset and length of block b's payload
+// within the stream — the varint length prefix is excluded. External
+// block indexes (internal/store) are built from these spans so a block
+// can later be fetched with one ReadAt instead of re-scanning the
+// stream.
+func (r *BlockReader) BlockSpan(b int) (offset, length int, err error) {
+	if b < 0 || b >= len(r.spans) {
+		return 0, 0, fmt.Errorf("core: block index %d out of range [0, %d)", b, len(r.spans))
+	}
+	return r.spans[b].lo, r.spans[b].hi - r.spans[b].lo, nil
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// TenantConfig holds one tenant's service parameters. Tenants are the
+// unit of isolation: each gets its own compression error bound, store
+// quota, cache sub-cap and telemetry collector.
+type TenantConfig struct {
+	// ErrorBound overrides the server default absolute error bound for
+	// this tenant's uploads; zero inherits the default.
+	ErrorBound float64 `json:"error_bound"`
+	// QuotaBytes caps the tenant's committed store bytes (segments +
+	// indexes); zero means unlimited.
+	QuotaBytes int64 `json:"quota_bytes"`
+	// CacheBytes sub-caps the tenant's share of the decoded-block cache;
+	// zero means only the global cap applies.
+	CacheBytes int64 `json:"cache_bytes"`
+}
+
+// Config is pastrid's service configuration, loaded from a JSON file.
+// Only tenants listed here may use the service — requests with an
+// unknown X-Pastri-Tenant are rejected.
+type Config struct {
+	// Listen is the HTTP listen address.
+	Listen string `json:"listen"`
+	// StoreDir is the block store root directory.
+	StoreDir string `json:"store_dir"`
+	// Shards is the store's shard-directory count (0 = store default).
+	Shards int `json:"shards"`
+	// CacheBytes is the global decoded-block cache capacity.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Workers sizes the compression worker pool per upload (0 =
+	// GOMAXPROCS).
+	Workers int `json:"workers"`
+	// NumSB and SBSize fix the block geometry every stored stream uses.
+	NumSB  int `json:"num_sb"`
+	SBSize int `json:"sb_size"`
+	// DefaultErrorBound applies to tenants without their own bound.
+	DefaultErrorBound float64 `json:"default_error_bound"`
+	// Tenants is the closed set of tenants the daemon serves.
+	Tenants map[string]TenantConfig `json:"tenants"`
+}
+
+// DefaultConfig returns the baked-in defaults: the paper's 4×9 ERI
+// geometry at the GAMESS 1e-10 bound, a 64 MiB cache, and no tenants
+// (the config file must name at least one).
+func DefaultConfig() Config {
+	return Config{
+		Listen:            "127.0.0.1:9641",
+		CacheBytes:        64 << 20,
+		NumSB:             4,
+		SBSize:            9,
+		DefaultErrorBound: 1e-10,
+	}
+}
+
+// LoadConfig reads and validates a JSON config file, filling unset
+// fields from DefaultConfig.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("server: opening config: %w", err)
+	}
+	defer f.Close() //lint:errdrop-ok read-only file; close errors cannot lose data
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	cfg := DefaultConfig()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("server: parsing config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration for use by New.
+func (c Config) Validate() error {
+	if c.Listen == "" {
+		return fmt.Errorf("server: config: listen address is empty")
+	}
+	if c.StoreDir == "" {
+		return fmt.Errorf("server: config: store_dir is empty")
+	}
+	if c.NumSB <= 0 || c.SBSize <= 0 {
+		return fmt.Errorf("server: config: invalid block geometry %d×%d", c.NumSB, c.SBSize)
+	}
+	if c.DefaultErrorBound <= 0 {
+		return fmt.Errorf("server: config: default_error_bound must be positive")
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("server: config: at least one tenant is required")
+	}
+	for name, tc := range c.Tenants {
+		if !store.ValidName(name) {
+			return fmt.Errorf("server: config: invalid tenant name %q", name)
+		}
+		if tc.ErrorBound < 0 {
+			return fmt.Errorf("server: config: tenant %q: negative error_bound", name)
+		}
+		if tc.QuotaBytes < 0 {
+			return fmt.Errorf("server: config: tenant %q: negative quota_bytes", name)
+		}
+		if tc.CacheBytes < 0 {
+			return fmt.Errorf("server: config: tenant %q: negative cache_bytes", name)
+		}
+	}
+	return nil
+}
+
+// errorBound returns the effective bound for a tenant.
+func (c Config) errorBound(tenant string) float64 {
+	if tc, ok := c.Tenants[tenant]; ok && tc.ErrorBound > 0 {
+		return tc.ErrorBound
+	}
+	return c.DefaultErrorBound
+}
+
+// tenantNames returns the configured tenants in sorted order, for
+// deterministic metrics and logs.
+func (c Config) tenantNames() []string {
+	names := make([]string, 0, len(c.Tenants))
+	for t := range c.Tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// storeQuotas extracts the per-tenant store quota map.
+func (c Config) storeQuotas() map[string]int64 {
+	q := make(map[string]int64, len(c.Tenants))
+	for t, tc := range c.Tenants {
+		if tc.QuotaBytes > 0 {
+			q[t] = tc.QuotaBytes
+		}
+	}
+	return q
+}
+
+// cacheCaps extracts the per-tenant cache sub-cap map.
+func (c Config) cacheCaps() map[string]int64 {
+	q := make(map[string]int64, len(c.Tenants))
+	for t, tc := range c.Tenants {
+		if tc.CacheBytes > 0 {
+			q[t] = tc.CacheBytes
+		}
+	}
+	return q
+}

@@ -1,0 +1,394 @@
+// Package loadtest drives a synthetic client fleet against a running
+// pastrid instance: N writers uploading deterministic ERI-shaped
+// streams and M readers issuing random-access block reads, every read
+// byte-compared against a locally computed serial compress+decompress
+// of the same data. It is the acceptance harness for the service — the
+// same fleet runs as a -race test in `make serve-test` and as the
+// pastrid-bench binary that emits BENCH_PR7.json.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockcache"
+	"repro/internal/core"
+)
+
+// Config sizes the fleet. Every field has a usable default via
+// DefaultConfig; the zero value is not valid.
+type Config struct {
+	// Writers is the number of concurrent uploading clients; each
+	// uploads StreamsPerWriter streams of BlocksPerStream blocks.
+	Writers          int `json:"writers"`
+	StreamsPerWriter int `json:"streams_per_writer"`
+	BlocksPerStream  int `json:"blocks_per_stream"`
+	// Readers is the number of concurrent random-access readers; each
+	// performs ReadsPerReader block reads.
+	Readers        int `json:"readers"`
+	ReadsPerReader int `json:"reads_per_reader"`
+	// NumSB and SBSize are the block geometry (must match the server).
+	NumSB  int `json:"num_sb"`
+	SBSize int `json:"sb_size"`
+	// ErrorBound must match the server's effective bound for the fleet
+	// tenants, or the local oracle would disagree with the service.
+	ErrorBound float64 `json:"error_bound"`
+	// Tenants are assigned to writers round-robin; readers follow the
+	// stream's owner.
+	Tenants []string `json:"tenants"`
+	// Seed makes the generated data and access pattern reproducible.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultConfig is a smoke-sized fleet against the paper's 4×9
+// geometry.
+func DefaultConfig() Config {
+	return Config{
+		Writers:          4,
+		StreamsPerWriter: 2,
+		BlocksPerStream:  8,
+		Readers:          8,
+		ReadsPerReader:   50,
+		NumSB:            4,
+		SBSize:           9,
+		ErrorBound:       1e-10,
+		Tenants:          []string{"fleet-a", "fleet-b"},
+		Seed:             1,
+	}
+}
+
+// LatencySummary is a percentile digest in microseconds.
+type LatencySummary struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50_us"`
+	P90   int64 `json:"p90_us"`
+	P99   int64 `json:"p99_us"`
+	Max   int64 `json:"max_us"`
+}
+
+// Result is the fleet outcome, serialized into BENCH_PR7.json.
+type Result struct {
+	Config              Config            `json:"config"`
+	Uploads             int               `json:"uploads"`
+	UploadFailures      int               `json:"upload_failures"`
+	Reads               int               `json:"reads"`
+	ReadFailures        int               `json:"read_failures"`
+	CorrectnessFailures int               `json:"correctness_failures"`
+	RawBytesUploaded    int64             `json:"raw_bytes_uploaded"`
+	StoredBytes         int64             `json:"stored_bytes"`
+	UploadLatency       LatencySummary    `json:"upload_latency"`
+	ReadLatency         LatencySummary    `json:"read_latency"`
+	Cache               *blockcache.Stats `json:"cache,omitempty"`
+	CacheHitRate        float64           `json:"cache_hit_rate"`
+	ElapsedMS           int64             `json:"elapsed_ms"`
+	FirstError          string            `json:"first_error,omitempty"`
+}
+
+// Target is the instance under test. CacheStats may be nil when the
+// fleet runs against an out-of-process daemon.
+type Target struct {
+	BaseURL    string
+	Client     *http.Client
+	CacheStats func() blockcache.Stats
+}
+
+// fleetRNG is the xorshift64* generator used for data and access
+// patterns — self-contained so runs are reproducible byte for byte.
+type fleetRNG uint64
+
+func (r *fleetRNG) next() uint64 {
+	x := uint64(*r)
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = fleetRNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// streamSpec is one uploaded stream plus its locally computed expected
+// decode — the correctness oracle for reads.
+type streamSpec struct {
+	tenant string
+	id     string
+	raw    []byte
+	dec    []byte // serial compress→decompress, little-endian float64
+}
+
+// genRaw builds ERI-shaped block data: sub-blocks repeating a latent
+// pattern up to a scale, with value-level noise — the regime PaSTRI
+// targets, so the fleet compresses like real integral tapes rather
+// than white noise.
+func genRaw(cfg Config, seed uint64) []byte {
+	rng := fleetRNG(seed)
+	blockSize := cfg.NumSB * cfg.SBSize
+	vals := make([]float64, cfg.BlocksPerStream*blockSize)
+	pattern := make([]float64, cfg.SBSize)
+	for b := 0; b < cfg.BlocksPerStream; b++ {
+		for i := range pattern {
+			pattern[i] = float64(rng.next()%2000)/1000 - 1
+		}
+		for s := 0; s < cfg.NumSB; s++ {
+			scale := 1e-6 * (float64(rng.next()%1000) + 1) / 1000
+			for i := 0; i < cfg.SBSize; i++ {
+				noise := cfg.ErrorBound * 40 * (float64(rng.next()%2000)/1000 - 1)
+				vals[b*blockSize+s*cfg.SBSize+i] = scale*pattern[i] + noise
+			}
+		}
+	}
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// latRecorder accumulates request durations.
+type latRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+func (l *latRecorder) summary() LatencySummary {
+	l.mu.Lock()
+	s := append([]time.Duration(nil), l.samples...)
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pick := func(f float64) int64 {
+		return s[int(f*float64(len(s)-1))].Microseconds()
+	}
+	return LatencySummary{
+		Count: len(s),
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P99:   pick(0.99),
+		Max:   s[len(s)-1].Microseconds(),
+	}
+}
+
+// fleetErrs tracks failure counts and the first error for the report.
+type fleetErrs struct {
+	uploads     atomic.Int64
+	reads       atomic.Int64
+	correctness atomic.Int64
+	mu          sync.Mutex
+	first       error
+}
+
+func (e *fleetErrs) record(counter *atomic.Int64, err error) {
+	counter.Add(1)
+	e.mu.Lock()
+	if e.first == nil {
+		e.first = err
+	}
+	e.mu.Unlock()
+}
+
+// Run executes the fleet: the upload phase (all writers concurrent),
+// then the read phase (all readers concurrent). It returns a Result
+// whether or not individual requests failed; the caller decides what
+// failure counts are acceptable.
+func Run(cfg Config, tgt Target) (Result, error) {
+	if cfg.Writers <= 0 || cfg.Readers < 0 || cfg.StreamsPerWriter <= 0 ||
+		cfg.BlocksPerStream <= 0 || cfg.NumSB <= 0 || cfg.SBSize <= 0 || len(cfg.Tenants) == 0 {
+		return Result{}, fmt.Errorf("loadtest: invalid fleet config %+v", cfg)
+	}
+	client := tgt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	start := time.Now()
+	errs := &fleetErrs{}
+	var upLat, rdLat latRecorder
+	var rawBytes, storedBytes atomic.Int64
+
+	// Upload phase: each writer uploads its streams and computes the
+	// expected serial decode locally (the read oracle).
+	specs := make([]*streamSpec, cfg.Writers*cfg.StreamsPerWriter)
+	coreCfg := core.Defaults(cfg.NumSB, cfg.SBSize, cfg.ErrorBound)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := cfg.Tenants[w%len(cfg.Tenants)]
+			for si := 0; si < cfg.StreamsPerWriter; si++ {
+				spec := &streamSpec{
+					tenant: tenant,
+					id:     fmt.Sprintf("w%d-s%d", w, si),
+					raw:    genRaw(cfg, cfg.Seed+uint64(w)*1000003+uint64(si)),
+				}
+				t0 := time.Now()
+				if err := uploadStream(client, tgt.BaseURL, spec, &storedBytes); err != nil {
+					errs.record(&errs.uploads, fmt.Errorf("upload %s/%s: %w", tenant, spec.id, err))
+					continue
+				}
+				upLat.add(time.Since(t0))
+				rawBytes.Add(int64(len(spec.raw)))
+				comp, err := compressLocal(coreCfg, spec.raw)
+				if err != nil {
+					errs.record(&errs.uploads, fmt.Errorf("local oracle %s: %w", spec.id, err))
+					continue
+				}
+				spec.dec = comp
+				specs[w*cfg.StreamsPerWriter+si] = spec
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Only fully oracled streams participate in the read phase.
+	live := specs[:0]
+	for _, sp := range specs {
+		if sp != nil && sp.dec != nil {
+			live = append(live, sp)
+		}
+	}
+
+	var readsDone atomic.Int64
+	if len(live) > 0 && cfg.Readers > 0 {
+		for rd := 0; rd < cfg.Readers; rd++ {
+			wg.Add(1)
+			go func(rd int) {
+				defer wg.Done()
+				rng := fleetRNG(cfg.Seed ^ (uint64(rd)*0xA24BAED4963EE407 + 1))
+				blockSize := cfg.NumSB * cfg.SBSize
+				for i := 0; i < cfg.ReadsPerReader; i++ {
+					sp := live[rng.next()%uint64(len(live))]
+					b := int(rng.next() % uint64(cfg.BlocksPerStream))
+					t0 := time.Now()
+					got, err := readBlock(client, tgt.BaseURL, sp.tenant, sp.id, b)
+					if err != nil {
+						errs.record(&errs.reads, fmt.Errorf("read %s/%s block %d: %w", sp.tenant, sp.id, b, err))
+						continue
+					}
+					rdLat.add(time.Since(t0))
+					readsDone.Add(1)
+					want := sp.dec[b*blockSize*8 : (b+1)*blockSize*8]
+					if !bytes.Equal(got, want) {
+						errs.record(&errs.correctness, fmt.Errorf(
+							"CORRECTNESS: %s/%s block %d served bytes differing from serial decode", sp.tenant, sp.id, b))
+					}
+				}
+			}(rd)
+		}
+		wg.Wait()
+	}
+
+	res := Result{
+		Config:              cfg,
+		Uploads:             len(live),
+		UploadFailures:      int(errs.uploads.Load()),
+		Reads:               int(readsDone.Load()),
+		ReadFailures:        int(errs.reads.Load()),
+		CorrectnessFailures: int(errs.correctness.Load()),
+		RawBytesUploaded:    rawBytes.Load(),
+		StoredBytes:         storedBytes.Load(),
+		UploadLatency:       upLat.summary(),
+		ReadLatency:         rdLat.summary(),
+		ElapsedMS:           time.Since(start).Milliseconds(),
+	}
+	if tgt.CacheStats != nil {
+		st := tgt.CacheStats()
+		res.Cache = &st
+		res.CacheHitRate = st.HitRate()
+	}
+	if errs.first != nil {
+		res.FirstError = errs.first.Error()
+	}
+	return res, nil
+}
+
+// compressLocal runs the serial compress→decompress oracle and returns
+// the decoded bytes.
+func compressLocal(cfg core.Config, raw []byte) ([]byte, error) {
+	vals := make([]float64, len(raw)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	comp, err := core.Compress(vals, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.Decompress(comp, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(dec)*8)
+	for i, v := range dec {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// uploadStream POSTs one stream and records its stored size.
+func uploadStream(client *http.Client, baseURL string, sp *streamSpec, storedBytes *atomic.Int64) error {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/streams?id="+sp.id, bytes.NewReader(sp.raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Pastri-Tenant", sp.tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		StoredBytes int64 `json:"stored_bytes"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return err
+	}
+	storedBytes.Add(out.StoredBytes)
+	return nil
+}
+
+// readBlock GETs one block's raw payload.
+func readBlock(client *http.Client, baseURL, tenant, id string, b int) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/v1/streams/%s/blocks/%d", baseURL, id, b), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Pastri-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}

@@ -1,0 +1,119 @@
+package loadtest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// newFleetServer starts an in-process pastrid sized for the fleet.
+func newFleetServer(t *testing.T, cfg Config, cacheBytes int64) (*server.Server, *httptest.Server) {
+	t.Helper()
+	sc := server.DefaultConfig()
+	sc.Listen = "127.0.0.1:0"
+	sc.StoreDir = t.TempDir()
+	sc.CacheBytes = cacheBytes
+	sc.Workers = 2
+	sc.NumSB = cfg.NumSB
+	sc.SBSize = cfg.SBSize
+	sc.DefaultErrorBound = cfg.ErrorBound
+	sc.Tenants = make(map[string]server.TenantConfig, len(cfg.Tenants))
+	for _, tn := range cfg.Tenants {
+		sc.Tenants[tn] = server.TenantConfig{}
+	}
+	srv, err := server.New(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close() //lint:errdrop-ok test teardown
+	})
+	return srv, ts
+}
+
+// The fleet smoke: every read must byte-match the serial oracle, and
+// with a cache big enough to hold the working set the telemetry
+// counters prove exactly-once decode per block.
+func TestFleetSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	srv, ts := newFleetServer(t, cfg, 64<<20)
+
+	res, err := Run(cfg, Target{
+		BaseURL:    ts.URL,
+		Client:     ts.Client(),
+		CacheStats: srv.CacheStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectnessFailures != 0 {
+		t.Fatalf("%d correctness failures: %s", res.CorrectnessFailures, res.FirstError)
+	}
+	if res.UploadFailures != 0 || res.ReadFailures != 0 {
+		t.Fatalf("upload_failures=%d read_failures=%d: %s",
+			res.UploadFailures, res.ReadFailures, res.FirstError)
+	}
+	wantUploads := cfg.Writers * cfg.StreamsPerWriter
+	if res.Uploads != wantUploads {
+		t.Fatalf("uploads=%d, want %d", res.Uploads, wantUploads)
+	}
+	wantReads := cfg.Readers * cfg.ReadsPerReader
+	if res.Reads != wantReads {
+		t.Fatalf("reads=%d, want %d", res.Reads, wantReads)
+	}
+
+	// Exactly-once decode: the cache never evicted (it dwarfs the
+	// working set), so fills == misses == distinct blocks touched, and
+	// every remaining lookup was a hit or a dedup wait.
+	cs := res.Cache
+	if cs == nil {
+		t.Fatal("no cache stats captured")
+	}
+	if cs.Evictions != 0 {
+		t.Fatalf("evictions=%d, want 0 with an oversized cache", cs.Evictions)
+	}
+	if cs.Fills != cs.Misses {
+		t.Fatalf("fills=%d misses=%d: a fill ran more than once per miss", cs.Fills, cs.Misses)
+	}
+	maxBlocks := uint64(wantUploads * cfg.BlocksPerStream)
+	if cs.Fills > maxBlocks {
+		t.Fatalf("fills=%d exceeds the %d distinct blocks: duplicate decodes", cs.Fills, maxBlocks)
+	}
+	if got := cs.Hits + cs.Misses + cs.DedupWaits; got != uint64(wantReads) {
+		t.Fatalf("hits+misses+dedupWaits=%d, want %d lookups accounted", got, wantReads)
+	}
+	if res.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %.3f, want > 0", res.CacheHitRate)
+	}
+	if res.ReadLatency.Count != wantReads || res.ReadLatency.P50 > res.ReadLatency.Max {
+		t.Fatalf("implausible read latency summary %+v", res.ReadLatency)
+	}
+}
+
+// A tiny cache still serves correct bytes — evictions churn, hit rate
+// drops, correctness holds.
+func TestFleetTinyCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Readers = 4
+	cfg.ReadsPerReader = 30
+	// Two blocks' worth of cache for a multi-stream working set.
+	blockBytes := int64(cfg.NumSB*cfg.SBSize) * 8
+	srv, ts := newFleetServer(t, cfg, 2*blockBytes)
+
+	res, err := Run(cfg, Target{BaseURL: ts.URL, Client: ts.Client(), CacheStats: srv.CacheStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectnessFailures != 0 {
+		t.Fatalf("%d correctness failures under cache churn: %s", res.CorrectnessFailures, res.FirstError)
+	}
+	if res.UploadFailures != 0 || res.ReadFailures != 0 {
+		t.Fatalf("failures under cache churn: %s", res.FirstError)
+	}
+	if res.Cache.Evictions == 0 {
+		t.Fatal("tiny cache never evicted; the churn path went unexercised")
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Route labels for metrics and logs. A closed set keeps the label
+// cardinality bounded no matter what paths clients probe.
+const (
+	routeUpload    = "upload"
+	routeReadBlock = "read_block"
+	routeStat      = "stat"
+	routeList      = "list"
+	routeDelete    = "delete"
+	routeMetrics   = "metrics"
+	routeHealthz   = "healthz"
+)
+
+// serverMetrics aggregates pastrid's request-level counters: requests
+// by route and status code, latency sums per route, and the in-flight
+// gauge. Mutex-guarded maps are fine here — the critical sections are
+// two map updates, dwarfed by the request work around them.
+type serverMetrics struct {
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route → status → count
+	durNS    map[string]uint64         // route → total ns
+	durCount map[string]uint64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests: make(map[string]map[int]uint64),
+		durNS:    make(map[string]uint64),
+		durCount: make(map[string]uint64),
+	}
+}
+
+func (m *serverMetrics) observe(route string, status int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.mu.Lock()
+	byStatus := m.requests[route]
+	if byStatus == nil {
+		byStatus = make(map[int]uint64)
+		m.requests[route] = byStatus
+	}
+	byStatus[status]++
+	m.durNS[route] += uint64(d)
+	m.durCount[route]++
+	m.mu.Unlock()
+}
+
+// handleMetrics renders the full Prometheus scrape: pastrid server
+// families, tenant-labeled pipeline families, and Go runtime families.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}
+
+// writePrometheus emits the scrape body. Split from the handler so the
+// loadtest can capture a scrape without an HTTP round trip.
+func (s *Server) writePrometheus(w interface{ Write([]byte) (int, error) }) {
+	var b promBuf
+
+	m := s.metrics
+	m.mu.Lock()
+	type reqSample struct {
+		route  string
+		status int
+		n      uint64
+	}
+	var reqs []reqSample
+	for route, byStatus := range m.requests {
+		for status, n := range byStatus {
+			reqs = append(reqs, reqSample{route, status, n})
+		}
+	}
+	type durSample struct {
+		route string
+		ns    uint64
+		n     uint64
+	}
+	var durs []durSample
+	for route, ns := range m.durNS {
+		durs = append(durs, durSample{route, ns, m.durCount[route]})
+	}
+	m.mu.Unlock()
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].route != reqs[j].route {
+			return reqs[i].route < reqs[j].route
+		}
+		return reqs[i].status < reqs[j].status
+	})
+	sort.Slice(durs, func(i, j int) bool { return durs[i].route < durs[j].route })
+
+	b.header("pastrid_requests_total", "HTTP requests by route and status.", "counter")
+	for _, rs := range reqs {
+		b.line(`pastrid_requests_total{route=%q,code="%d"} %d`, rs.route, rs.status, rs.n)
+	}
+	b.header("pastrid_request_duration_seconds", "Request wall-clock time by route.", "summary")
+	for _, ds := range durs {
+		b.line(`pastrid_request_duration_seconds_sum{route=%q} %g`, ds.route, float64(ds.ns)/1e9)
+		b.line(`pastrid_request_duration_seconds_count{route=%q} %d`, ds.route, ds.n)
+	}
+	b.header("pastrid_inflight_requests", "Requests currently being served.", "gauge")
+	b.line("pastrid_inflight_requests %d", m.inflight.Load())
+
+	cs := s.cache.Stats()
+	b.header("pastrid_cache_hits_total", "Block cache hits.", "counter")
+	b.line("pastrid_cache_hits_total %d", cs.Hits)
+	b.header("pastrid_cache_misses_total", "Block cache misses.", "counter")
+	b.line("pastrid_cache_misses_total %d", cs.Misses)
+	b.header("pastrid_cache_fills_total", "Block cache fills (post-dedup decode count).", "counter")
+	b.line("pastrid_cache_fills_total %d", cs.Fills)
+	b.header("pastrid_cache_dedup_waits_total", "Reads coalesced onto another reader's in-flight fill.", "counter")
+	b.line("pastrid_cache_dedup_waits_total %d", cs.DedupWaits)
+	b.header("pastrid_cache_evictions_total", "Blocks evicted from the cache.", "counter")
+	b.line("pastrid_cache_evictions_total %d", cs.Evictions)
+	b.header("pastrid_cache_entries", "Blocks resident in the cache.", "gauge")
+	b.line("pastrid_cache_entries %d", cs.Entries)
+	b.header("pastrid_cache_bytes", "Decoded bytes resident in the cache.", "gauge")
+	b.line("pastrid_cache_bytes %d", cs.Bytes)
+
+	b.header("pastrid_tenant_store_bytes", "Committed store bytes per tenant.", "gauge")
+	for _, t := range s.cfg.tenantNames() {
+		b.line(`pastrid_tenant_store_bytes{tenant=%q} %d`, t, s.st.Usage(t))
+	}
+
+	w.Write(b.buf) //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
+
+	telemetry.WriteTenantPrometheus(w, s.collectors) //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
+	telemetry.WriteRuntimePrometheus(w)              //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
+}
+
+// promBuf accumulates exposition lines for the server families.
+type promBuf struct{ buf []byte }
+
+func (b *promBuf) header(name, help, typ string) {
+	b.buf = fmt.Appendf(b.buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (b *promBuf) line(format string, args ...any) {
+	b.buf = fmt.Appendf(b.buf, format+"\n", args...)
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Wire-protocol golden tests: the exact status codes, error JSON
+// shapes, response headers and Prometheus series names are committed
+// under testdata/ and regenerated with
+//
+//	go test ./internal/server -run TestWireGolden -update
+//
+// Any unreviewed protocol drift — a renamed error code, a changed
+// status, a new metric label — fails the diff.
+
+var updateWire = flag.Bool("update", false, "rewrite wire-protocol golden files")
+
+const (
+	wireGoldenPath    = "testdata/wire.golden"
+	metricsGoldenPath = "testdata/metrics_series.golden"
+)
+
+// wireBody builds a deterministic upload body of nblocks raw blocks
+// for the 4×9 battery geometry.
+func wireBody(nblocks int) []byte {
+	const blockSize = 36
+	out := make([]byte, nblocks*blockSize*8)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < nblocks*blockSize; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v := 1e-6 * float64(state%100000) / 1e5
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func TestWireGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Listen = "127.0.0.1:0"
+	cfg.StoreDir = t.TempDir()
+	cfg.CacheBytes = 1 << 20
+	cfg.Workers = 2
+	cfg.Tenants = map[string]TenantConfig{
+		"alice": {ErrorBound: 1e-8},
+		"bob":   {QuotaBytes: 64},
+	}
+	srv, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var transcript strings.Builder
+	do := func(method, path, tenant string, body []byte) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Pastri-Tenant", tenant)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&transcript, "== %s %s tenant=%q\n", method, path, tenant)
+		fmt.Fprintf(&transcript, "status: %d\n", resp.StatusCode)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			fmt.Fprintf(&transcript, "content-type: %s\n", ct)
+		}
+		if nv := resp.Header.Get("X-Pastri-Block-Values"); nv != "" {
+			fmt.Fprintf(&transcript, "x-pastri-block-values: %s\n", nv)
+		}
+		switch {
+		case len(respBody) == 0:
+			fmt.Fprintf(&transcript, "body: (empty)\n")
+		case strings.HasPrefix(resp.Header.Get("Content-Type"), "application/octet-stream"):
+			fmt.Fprintf(&transcript, "body: %d bytes sha256=%x\n", len(respBody), sha256.Sum256(respBody))
+		default:
+			// Paths under the temp store root would make the transcript
+			// machine-specific; mask them.
+			masked := strings.ReplaceAll(strings.TrimRight(string(respBody), "\n"), cfg.StoreDir, "$STORE")
+			fmt.Fprintf(&transcript, "body: %s\n", masked)
+		}
+		transcript.WriteString("\n")
+	}
+
+	do("GET", "/healthz", "", nil)
+	do("POST", "/v1/streams?id=s1", "", wireBody(1))
+	do("POST", "/v1/streams?id=s1", "ghost", wireBody(1))
+	do("POST", "/v1/streams", "alice", wireBody(1))
+	do("POST", "/v1/streams?id=bad.name", "alice", wireBody(1))
+	do("POST", "/v1/streams?id=s1", "alice", wireBody(3))
+	do("POST", "/v1/streams?id=s1", "alice", wireBody(3))
+	do("POST", "/v1/streams?id=trunc", "alice", wireBody(1)[:100])
+	do("POST", "/v1/streams?id=empty", "alice", []byte{})
+	do("GET", "/v1/streams/s1/blocks/0", "alice", nil)
+	do("GET", "/v1/streams/s1/blocks/99", "alice", nil)
+	do("GET", "/v1/streams/s1/blocks/abc", "alice", nil)
+	do("GET", "/v1/streams/s1/blocks/-1", "alice", nil)
+	do("GET", "/v1/streams/nope", "alice", nil)
+	do("GET", "/v1/streams", "alice", nil)
+	do("POST", "/v1/streams?id=big", "bob", wireBody(3))
+	do("DELETE", "/v1/streams/s1", "alice", nil)
+	do("DELETE", "/v1/streams/s1", "alice", nil)
+	do("GET", "/v1/streams/s1/blocks/0", "alice", nil)
+
+	compareGolden(t, wireGoldenPath, transcript.String())
+
+	// The Prometheus scrape's series identities (family names and label
+	// sets, values stripped) are part of the wire contract — dashboards
+	// and alerts key on them.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics scrape: status %d", resp.StatusCode)
+	}
+	var series strings.Builder
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP") {
+			continue // HELP text is not contract; TYPE lines are
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			series.WriteString(line + "\n")
+			continue
+		}
+		// "name{labels} value" or "name value" → identity only.
+		cut := strings.LastIndex(line, " ")
+		if cut < 0 {
+			t.Fatalf("unparseable scrape line %q", line)
+		}
+		series.WriteString(line[:cut] + "\n")
+	}
+	compareGolden(t, metricsGoldenPath, series.String())
+}
+
+// compareGolden diffs got against the committed file, rewriting it
+// under -update.
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateWire {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if string(want) == got {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s drifted at line %d:\n  got:  %s\n  want: %s\n(regenerate with -update after review)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s drifted (lengths differ)", path)
+}
