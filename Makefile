@@ -124,14 +124,16 @@ cover:
 
 # serve-test: the pastrid service battery — store fault injection,
 # cache correctness, the HTTP integration tests (golden fixtures at
-# worker counts 1/4/7, wire-protocol goldens) and the client-fleet
-# smoke, all under the race detector — then a pastrid-bench fleet run
-# whose report and Prometheus scrape CI uploads as artifacts. The bench
-# exits nonzero on any correctness failure.
+# worker counts 1/4/7, wire-protocol goldens, span-tree parentage) and
+# the client-fleet smoke, all under the race detector — then a
+# pastrid-bench fleet run whose report, Prometheus scrape, and Chrome
+# trace export CI uploads as artifacts. The bench exits nonzero on any
+# correctness failure or on a p99-worst read whose trace tail sampling
+# failed to retain.
 serve-test:
 	$(GO) test -race -count=1 ./internal/store ./internal/blockcache ./internal/server ./internal/server/loadtest
 	$(GO) run ./cmd/pastrid-bench -writers 8 -readers 24 -reads 60 -blocks 12 \
-		-out bench_serve_smoke.json -metricsout pastrid_scrape.txt
+		-out bench_serve_smoke.json -metricsout pastrid_scrape.txt -traceout pastrid_traces.json
 
 # cover-serve: combined statement coverage of the serving stack
 # (internal/server + internal/store + internal/blockcache); fails below
@@ -151,4 +153,4 @@ verify: build test vet lint lint-selftest race fuzz-smoke bench-smoke bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrilint.sarif
+	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrid_traces.json pastrilint.sarif

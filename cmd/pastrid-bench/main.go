@@ -1,18 +1,22 @@
 // Command pastrid-bench runs the synthetic client fleet against an
 // in-process pastrid instance and writes the latency/correctness
-// report consumed by the PR 7 acceptance gate.
+// report consumed by the PR 8 acceptance gate.
 //
 // Usage:
 //
-//	pastrid-bench -writers 50 -readers 200 -out BENCH_PR7.json
+//	pastrid-bench -writers 50 -readers 200 -out BENCH_PR8.json
 //	pastrid-bench -writers 4 -readers 8 -reads 50 -out - # smoke, stdout
+//	pastrid-bench -traceout traces.json                  # Perfetto export
 //
 // The fleet uploads deterministic ERI-shaped streams (N concurrent
 // writers), then hammers random-access block reads (M concurrent
 // readers), byte-comparing every response against a locally computed
 // serial compress→decompress oracle. The report includes p50/p90/p99
-// latency per phase, the cache hit rate, and the correctness failure
-// count — which must be zero.
+// latency per phase, the cache hit rate, the correctness failure count
+// (which must be zero), and a tracing section: the server runs with a
+// keep-everything tail sampler (keep_fraction 1, ring sized to the
+// fleet), so the slowest 1% of reads must all have their traces in the
+// /debug/traces export — a missing one fails the run.
 package main
 
 import (
@@ -48,8 +52,9 @@ func run() int {
 		workers    = flag.Int("workers", 0, "server compression workers (0 = GOMAXPROCS)")
 		cacheBytes = flag.Int64("cachebytes", 256<<10, "decoded-block cache capacity")
 		seed       = flag.Uint64("seed", 1, "fleet data/access seed")
-		outPath    = flag.String("out", "BENCH_PR7.json", `report path ("-" = stdout)`)
+		outPath    = flag.String("out", "BENCH_PR8.json", `report path ("-" = stdout)`)
 		scrapePath = flag.String("metricsout", "", "also write a final Prometheus scrape to this path")
+		tracePath  = flag.String("traceout", "", "also write the Chrome trace-event export to this path")
 	)
 	flag.Parse()
 
@@ -78,6 +83,14 @@ func run() int {
 	scfg.NumSB = fleet.NumSB
 	scfg.SBSize = fleet.SBSize
 	scfg.DefaultErrorBound = fleet.ErrorBound
+	// Keep every trace so the fleet's tail-retention assertion is exact:
+	// the ring must outlast the full request count (uploads + reads).
+	fleet.TraceAssert = true
+	scfg.Trace = server.TraceConfig{
+		SampleRate:   1,
+		KeepFraction: 1,
+		RingDepth:    fleet.Writers*fleet.StreamsPerWriter + fleet.Readers*fleet.ReadsPerReader + 16,
+	}
 	scfg.Tenants = make(map[string]server.TenantConfig, len(fleet.Tenants))
 	for _, tn := range fleet.Tenants {
 		scfg.Tenants[tn] = server.TenantConfig{}
@@ -107,6 +120,7 @@ func run() int {
 		BaseURL:    baseURL,
 		Client:     client,
 		CacheStats: srv.CacheStats,
+		TraceStats: srv.TraceStats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pastrid-bench:", err)
@@ -116,6 +130,12 @@ func run() int {
 	if *scrapePath != "" {
 		if err := writeScrape(client, baseURL, *scrapePath); err != nil {
 			fmt.Fprintln(os.Stderr, "pastrid-bench: scrape:", err)
+			return 1
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTraces(srv, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid-bench: traces:", err)
 			return 1
 		}
 	}
@@ -155,11 +175,31 @@ func run() int {
 		"pastrid-bench: %d uploads, %d reads, %d correctness failures, read p50=%dus p99=%dus, cache hit rate %.3f\n",
 		res.Uploads, res.Reads, res.CorrectnessFailures,
 		res.ReadLatency.P50, res.ReadLatency.P99, res.CacheHitRate)
-	if res.CorrectnessFailures != 0 || res.UploadFailures != 0 || res.ReadFailures != 0 {
+	if rep := res.Trace; rep != nil {
+		fmt.Fprintf(os.Stderr,
+			"pastrid-bench: traces: %d retained, %d span events, worst reads retained %d/%d\n",
+			rep.RetainedTraces, rep.SpanEvents, rep.WorstRetained, rep.WorstReads)
+	}
+	if res.CorrectnessFailures != 0 || res.UploadFailures != 0 || res.ReadFailures != 0 ||
+		res.TraceAssertFailures != 0 {
 		fmt.Fprintln(os.Stderr, "pastrid-bench: FAILURES:", res.FirstError)
 		return 1
 	}
 	return 0
+}
+
+// writeTraces dumps the server's retained-trace ring as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func writeTraces(srv *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteTraces(f); err != nil {
+		f.Close() //lint:errdrop-ok already failing; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 func writeScrape(client *http.Client, baseURL, path string) error {

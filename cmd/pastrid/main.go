@@ -41,6 +41,7 @@ func run() int {
 		logMode     = flag.String("log", "text", "log format: text or json")
 		logLevel    = flag.String("loglevel", "info", "log level: debug, info, warn, error")
 		drainSecs   = flag.Int("drain", 30, "graceful shutdown drain budget in seconds")
+		tracePath   = flag.String("traceout", "", "write retained traces (Chrome trace-event JSON) here on shutdown")
 		printConfig = flag.Bool("printconfig", false, "print the default config as JSON and exit")
 	)
 	flag.Parse()
@@ -98,6 +99,13 @@ func run() int {
 			logger.Error("serve", "error", err.Error())
 			return 1
 		}
+		if *tracePath != "" {
+			if err := dumpTraces(srv, *tracePath); err != nil {
+				logger.Error("traceout", "error", err.Error())
+				return 1
+			}
+			logger.Info("traceout written", "path", *tracePath)
+		}
 	case err := <-serveDone:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pastrid:", err)
@@ -105,6 +113,20 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// dumpTraces writes the retained-trace ring as Chrome trace-event JSON
+// so a drained daemon leaves its last traces behind for inspection.
+func dumpTraces(srv *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteTraces(f); err != nil {
+		f.Close() //lint:errdrop-ok already failing; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 func buildLogger(mode, level string) (*slog.Logger, error) {

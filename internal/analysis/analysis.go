@@ -83,6 +83,7 @@ func All() []*Analyzer {
 		GoroutineCapture,
 		TelemetryDrop,
 		SlogKey,
+		SpanEnd,
 	}
 }
 

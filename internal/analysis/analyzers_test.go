@@ -36,6 +36,10 @@ func TestSlogKey(t *testing.T) {
 	runFixture(t, SlogKey, "slogkey", fixtureModPath+"/internal/fixtures")
 }
 
+func TestSpanEnd(t *testing.T) {
+	runFixture(t, SpanEnd, "spanend", fixtureModPath+"/internal/fixtures")
+}
+
 func TestHotAlloc2(t *testing.T) {
 	runModuleFixture(t, HotAlloc2, "hotalloc2", fixtureModPath+"/internal/fixtures")
 }

@@ -34,6 +34,7 @@ func Selftest(modRoot string) ([]Finding, error) {
 		{"goroutinecapture", fixtureMod + "/internal/fixtures", []string{"goroutinecapture"}},
 		{"telemetrydrop", fixtureMod + "/internal/fixtures", []string{"telemetrydrop"}},
 		{"slogkey", fixtureMod + "/internal/fixtures", []string{"slogkey"}},
+		{"spanend", fixtureMod + "/internal/fixtures", []string{"spanend"}},
 		{"hotalloc2", fixtureMod + "/internal/fixtures", []string{"hotalloc2"}},
 		{"detlint", fixtureMod + "/internal/fixtures", []string{"detlint"}},
 		{"atomicmix", fixtureMod + "/internal/fixtures", []string{"atomicmix"}},

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd flags trace spans whose End is not guaranteed to run on
+// every exit path. Span.StartChild (internal/telemetry/trace) hands
+// back a child span that must be ended exactly once; a span that is
+// never ended is exported as "unfinished" with zero duration, and a
+// span ended only on the happy path lies about latency in exactly the
+// failing requests where traces are most wanted.
+//
+// Flagged shapes, matched structurally by name so fixtures and future
+// tracer types are covered without importing the trace package: a
+// method named StartChild on a type named Span returning a type named
+// Span that has an End method.
+//
+//   - the span dropped outright (bare call, or assigned to _);
+//   - chained sp.StartChild(...).End() in one statement — the span
+//     brackets nothing;
+//   - v := sp.StartChild(...) where the enclosing function neither
+//     defers v.End() nor ends the span on the straight line: a plain
+//     v.End() must follow in the definition's own statement list, and
+//     every return between the two must be preceded by a v.End() in
+//     its innermost block.
+//
+// A span that escapes — passed to another function, returned, stored
+// in a struct or field — is not flagged; ownership moved with it.
+// Intentional exceptions (e.g. a span re-created per loop iteration
+// and ended at the top of the next) are annotated //lint:spanend-ok.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "flag trace spans whose End is skipped on some exit path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	for _, f := range p.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.isStartChildCall(call) {
+					p.Reportf(call.Pos(),
+						"span is dropped; its End never runs, so it is exported as an unfinished span")
+					return true
+				}
+				if p.isSpanEndChain(call) {
+					p.Reportf(call.Pos(),
+						"span is started and ended in the same statement; it brackets nothing — bind it and End after the work")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !p.isStartChildCall(call) {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // stored into a field/element: escapes
+					}
+					if id.Name == "_" {
+						p.Reportf(call.Pos(),
+							"span is discarded with _; its End never runs, so it is exported as an unfinished span")
+						continue
+					}
+					v := p.definedOrUsedVar(id)
+					body := enclosingFuncBody(stack)
+					if v == nil || body == nil {
+						continue
+					}
+					if p.spanEndDeferred(body, v) || p.spanEscapes(body, v) {
+						continue
+					}
+					p.checkStraightLineEnd(stack, n, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkStraightLineEnd enforces the non-deferred discipline for a span
+// defined by assign: a plain v.End() later in the same statement list,
+// with every return in between ended in its own innermost block.
+func (p *Pass) checkStraightLineEnd(stack []ast.Node, assign *ast.AssignStmt, v *types.Var) {
+	var list []ast.Stmt
+	if len(stack) > 0 {
+		list = stmtList(stack[len(stack)-1])
+	}
+	defIdx := -1
+	for i, s := range list {
+		if s == ast.Stmt(assign) {
+			defIdx = i
+			break
+		}
+	}
+	if defIdx < 0 {
+		// Defined somewhere without a statement list (if-init, etc.):
+		// too exotic for straight-line proof — demand a defer.
+		p.Reportf(assign.Pos(),
+			"span %q needs defer %s.End(); its definition site has no straight-line End position", v.Name(), v.Name())
+		return
+	}
+	endIdx := -1
+	for j := defIdx + 1; j < len(list); j++ {
+		if p.isPlainEndStmt(list[j], v) {
+			endIdx = j
+			break
+		}
+	}
+	if endIdx < 0 {
+		p.Reportf(assign.Pos(),
+			"span %q is never ended on this path; defer %s.End() or end it before every exit (or annotate //lint:spanend-ok)",
+			v.Name(), v.Name())
+		return
+	}
+	for j := defIdx + 1; j < endIdx; j++ {
+		p.checkReturnsEnd(list[j], v)
+	}
+}
+
+// checkReturnsEnd flags every return nested in stmt that is not
+// preceded by a plain v.End() in its innermost statement list. Returns
+// inside function literals belong to a different function and are
+// skipped.
+func (p *Pass) checkReturnsEnd(stmt ast.Stmt, v *types.Var) {
+	walkStack(stmt, func(stack []ast.Node, n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			list := stmtList(stack[i])
+			if list == nil {
+				continue
+			}
+			ended := false
+			for _, s := range list {
+				if s == ast.Stmt(ret) {
+					break
+				}
+				if p.isPlainEndStmt(s, v) {
+					ended = true
+				}
+			}
+			if !ended {
+				p.Reportf(ret.Pos(),
+					"return without ending span %q; call %s.End() before this return or defer it",
+					v.Name(), v.Name())
+			}
+			return true // only the innermost statement list counts
+		}
+		return true
+	})
+}
+
+// stmtList returns the statement list a node directly carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// isPlainEndStmt reports whether s is the statement `v.End()`.
+func (p *Pass) isPlainEndStmt(s ast.Stmt, v *types.Var) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && p.isEndCallOn(call, v)
+}
+
+// isStartChildCall reports whether call invokes a method StartChild on
+// a type named Span returning a single value of a type named Span that
+// has an End method. StartRequest roots are excluded: they are ended
+// by the tracer's FinishRequest, not by End.
+func (p *Pass) isStartChildCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartChild" {
+		return false
+	}
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	if !namedTypeIs(sig.Recv().Type(), "Span") {
+		return false
+	}
+	res := sig.Results().At(0).Type()
+	return namedTypeIs(res, "Span") && hasNiladicMethod(res, "End")
+}
+
+// isSpanEndChain reports whether call is `<StartChild call>.End()`.
+func (p *Pass) isSpanEndChain(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	return ok && p.isStartChildCall(inner)
+}
+
+// spanEndDeferred reports whether body defers v.End(), either directly
+// or inside a deferred function literal.
+func (p *Pass) spanEndDeferred(body ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if p.isEndCallOn(d.Call, v) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && p.isEndCallOn(call, v) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether v is used for anything other than method
+// calls on it or reassignment — passed as an argument, returned,
+// stored in a field, captured as a method value. Escaped spans are the
+// recipient's responsibility (the analyzer checks that site instead).
+func (p *Pass) spanEscapes(body ast.Node, v *types.Var) bool {
+	escaped := false
+	walkStack(body, func(stack []ast.Node, n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[id] != types.Object(v) {
+			return true
+		}
+		if len(stack) == 0 {
+			escaped = true
+			return false
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			// v.Method(...) in receiver position is fine — End,
+			// SetError, Annotate all stay local. A bare method value
+			// (v.End handed off uncalled) escapes.
+			if parent.X == ast.Expr(id) && len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Expr(parent) {
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-binding the same variable to a fresh span is a define
+			// site, not an escape.
+			for _, lhs := range parent.Lhs {
+				if lhs == ast.Expr(id) {
+					return true
+				}
+			}
+		}
+		escaped = true
+		return false
+	})
+	return escaped
+}
+
+// isEndCallOn reports whether call is `v.End()`.
+func (p *Pass) isEndCallOn(call *ast.CallExpr, v *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && p.TypesInfo.Uses[id] == types.Object(v)
+}
+
+// hasNiladicMethod reports whether t has a parameterless method name.
+func hasNiladicMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	return sig.Params().Len() == 0
+}

@@ -1,0 +1,137 @@
+package fixtures
+
+import "errors"
+
+// Local stand-ins with the shape the analyzer matches structurally: a
+// Span with a StartChild method returning a *Span that has End.
+
+type Span struct {
+	name  string
+	ended bool
+}
+
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name}
+}
+
+func (s *Span) End() {
+	if s != nil {
+		s.ended = true
+	}
+}
+
+func (s *Span) SetError(err error) {}
+
+func (s *Span) Annotate(k, v string) {}
+
+func work() error { return errors.New("nope") }
+
+// True positives.
+
+func dropped(sp *Span) {
+	sp.StartChild("x") // want "span is dropped"
+}
+
+func discarded(sp *Span) {
+	_ = sp.StartChild("x") // want "span is discarded with _"
+}
+
+func sameStatement(sp *Span) {
+	sp.StartChild("x").End() // want "started and ended in the same statement"
+}
+
+func neverEnded(sp *Span) {
+	c := sp.StartChild("x") // want "span \"c\" is never ended"
+	c.Annotate("k", "v")
+}
+
+func earlyReturnSkipsEnd(sp *Span) error {
+	c := sp.StartChild("x")
+	if err := work(); err != nil {
+		return err // want "return without ending span \"c\""
+	}
+	c.End()
+	return nil
+}
+
+func switchReturnSkipsEnd(sp *Span) error {
+	c := sp.StartChild("x")
+	switch err := work(); err {
+	case nil:
+	default:
+		return err // want "return without ending span \"c\""
+	}
+	c.End()
+	return nil
+}
+
+// Clean patterns.
+
+func deferred(sp *Span) error {
+	c := sp.StartChild("x")
+	defer c.End()
+	return work()
+}
+
+func deferredClosure(sp *Span) (err error) {
+	c := sp.StartChild("x")
+	defer func() {
+		if err != nil {
+			c.SetError(err)
+		}
+		c.End()
+	}()
+	return work()
+}
+
+func straightLine(sp *Span) error {
+	c := sp.StartChild("x")
+	err := work()
+	c.End()
+	return err
+}
+
+func endedOnEveryPath(sp *Span) error {
+	c := sp.StartChild("x")
+	if err := work(); err != nil {
+		c.SetError(err)
+		c.End()
+		return err
+	}
+	c.End()
+	return nil
+}
+
+func escapesAsArgument(sp *Span, sink func(*Span)) {
+	c := sp.StartChild("x")
+	sink(c)
+}
+
+func escapesIntoField(sp *Span, out *struct{ S *Span }) {
+	out.S = sp.StartChild("x")
+}
+
+func escapesByReturn(sp *Span) *Span {
+	c := sp.StartChild("x")
+	return c
+}
+
+func innerFuncReturnsAreNotExits(sp *Span, run func(func() error)) {
+	c := sp.StartChild("x")
+	run(func() error {
+		return work() // a different function's return, not this span's exit
+	})
+	c.End()
+}
+
+func loopRecreate(sp *Span) {
+	c := sp.StartChild("gap")
+	for i := 0; i < 3; i++ {
+		c.End()
+		c = sp.StartChild("gap") //lint:spanend-ok re-created per iteration; ended at the top of the next pass or after the loop
+	}
+	c.End()
+}

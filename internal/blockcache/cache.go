@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Key identifies one decoded block.
@@ -113,17 +114,31 @@ func blockBytes(data []float64) int64 { return int64(len(data)) * 8 }
 // nothing is cached. The returned slice is shared — callers must treat
 // it as read-only.
 func (c *Cache) GetOrFill(k Key, fill func() ([]float64, error)) ([]float64, error) {
+	return c.GetOrFillTraced(k, nil, func(*trace.Span) ([]float64, error) { return fill() })
+}
+
+// GetOrFillTraced is GetOrFill with request tracing: the lookup
+// outcome (hit, dedup_wait or miss) is annotated onto sp, waiters
+// record a cache.dedup_wait child span covering the block on the
+// leader, and the leader's fill runs under a cache.fill child span
+// which is passed to fill so the store can attach its own children.
+// A nil sp (or a non-recording one) disables all of it.
+func (c *Cache) GetOrFillTraced(k Key, sp *trace.Span, fill func(*trace.Span) ([]float64, error)) ([]float64, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		c.hits.Add(1)
+		sp.Annotate("cache_outcome", "hit")
 		return e.data, nil
 	}
 	if fl, ok := c.flights[k]; ok {
 		c.mu.Unlock()
 		c.dedupWaits.Add(1)
+		sp.Annotate("cache_outcome", "dedup_wait")
+		wsp := sp.StartChild("cache.dedup_wait")
 		<-fl.done
+		wsp.End()
 		if fl.err != nil {
 			return nil, fl.err
 		}
@@ -137,8 +152,14 @@ func (c *Cache) GetOrFill(k Key, fill func() ([]float64, error)) ([]float64, err
 	c.flights[k] = fl
 	c.mu.Unlock()
 	c.misses.Add(1)
+	sp.Annotate("cache_outcome", "miss")
 
-	data, err := fill()
+	fsp := sp.StartChild("cache.fill")
+	data, err := fill(fsp)
+	if err != nil {
+		fsp.SetError(err)
+	}
+	fsp.End()
 	fl.data, fl.err = data, err
 	if err == nil {
 		c.fills.Add(1)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/quant"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Block bitstream layout (all fields bit-packed, MSB first):
@@ -38,6 +39,7 @@ const (
 type BlockEncoder struct {
 	cfg Config
 	col *telemetry.Collector // from cfg; nil ⇒ no telemetry
+	sp  *trace.Span          // from cfg; nil ⇒ no tracing
 	// debugLog caches Logger.Enabled(Debug) at reset time so the
 	// per-block gate is one boolean test, not an interface call.
 	debugLog bool
@@ -69,6 +71,7 @@ func NewBlockEncoder(cfg Config) (*BlockEncoder, error) {
 func (e *BlockEncoder) reset(cfg Config) {
 	e.cfg = cfg
 	e.col = cfg.Collector
+	e.sp = cfg.Trace
 	e.debugLog = logEnabled(cfg.Logger, slog.LevelDebug)
 	e.stats = nil
 	e.pq = growI64(e.pq, cfg.SBSize)
@@ -112,12 +115,15 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 	}
 	// 1. Pattern analysis (Sec. IV-A), writing into encoder-owned scratch.
 	tFit := e.col.StageStart()
+	spFit := e.sp.StartChild("pattern_fit")
 	res, err := e.pat.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
+	spFit.End()
 	e.col.StageEnd(telemetry.StagePatternFit, tFit)
 	if err != nil {
 		return 0, 0, err
 	}
 	tQuant := e.col.StageStart()
+	spQuant := e.sp.StartChild("quantize")
 	pat := block[res.PatternIndex*cfg.SBSize : (res.PatternIndex+1)*cfg.SBSize]
 
 	// 2. Quantize the pattern with Pbinsize = 2·EB (Sec. IV-B practical
@@ -127,6 +133,7 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 	pExt, _ := quant.MaxAbs(pat)
 	pb = quant.PatternBits(pExt, eb)
 	if pb > 64 {
+		spQuant.End()
 		return 0, 0, fmt.Errorf("core: pattern extremum %g needs %d bits at EB %g", pExt, pb, eb)
 	}
 	sb := pb
@@ -181,6 +188,7 @@ func (e *BlockEncoder) analyze(block []float64) (pb, ecbMax uint, err error) {
 			}
 		}
 	}
+	spQuant.End()
 	e.col.StageEnd(telemetry.StageQuantize, tQuant)
 	if ecbMax > 63 {
 		return 0, 0, fmt.Errorf("core: ECQ needs %d bits; data range too wide for EB %g", ecbMax, eb)
@@ -212,6 +220,7 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 		return err
 	}
 	tEnc := e.col.StageStart()
+	spEnc := e.sp.StartChild("encode")
 
 	// 4. Emit header fields.
 	w.WriteBits(uint64(pb-1), pbFieldBits)
@@ -248,6 +257,7 @@ func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
 		}
 	}
 
+	spEnc.End()
 	e.col.StageEnd(telemetry.StageEncode, tEnc)
 
 	if e.stats != nil {

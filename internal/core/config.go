@@ -24,6 +24,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/pattern"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Config controls compression. The zero value is not valid; use Defaults
@@ -63,6 +64,14 @@ type Config struct {
 	// a handler whose level actually enables Debug — the encoder checks
 	// Enabled once per block, not per attribute.
 	Logger *slog.Logger
+	// Trace, when non-nil, is the parent span under which the pipeline
+	// records per-stage child spans (block_split, pattern_fit, quantize,
+	// encode, sequencer_wait, write) for the request that owns this
+	// compression. Like Collector and Logger it is runtime-only state,
+	// never serialized into streams; the nil default (or a non-recording
+	// span) costs one untaken branch per instrumentation point. It may
+	// be shared across workers — spans are safe for concurrent children.
+	Trace *trace.Span
 }
 
 // Defaults returns the paper's shipped configuration for a block geometry

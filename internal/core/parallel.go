@@ -80,11 +80,13 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 		firstErr error
 	)
 	tSplit := cfg.Collector.StageStart()
+	spSplit := cfg.Trace.StartChild("block_split")
 	next := make(chan int, nblocks) //lint:hotalloc-ok one channel per call, not per block
 	for b := 0; b < nblocks; b++ {
 		next <- b
 	}
 	close(next)
+	spSplit.End()
 	cfg.Collector.StageEnd(telemetry.StageBlockSplit, tSplit)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
@@ -283,8 +285,10 @@ func (s *ParallelStreamWriter) sequencer() {
 	var lenBuf [binary.MaxVarintLen64]byte
 	dead := false
 	tWait := col.StageStart()
+	spWait := s.cfg.Trace.StartChild("sequencer_wait") //lint:spanend-ok span is re-created per receive gap; every instance ends on the next receive or after channel close below
 	for res := range s.results {
 		col.StageEnd(telemetry.StageSequencerWait, tWait)
+		spWait.End()
 		pending[res.seq] = res
 		for {
 			r, ok := pending[nextSeq]
@@ -301,6 +305,7 @@ func (s *ParallelStreamWriter) sequencer() {
 				dead = true
 			default:
 				tWrite := col.StageStart()
+				spWrite := s.cfg.Trace.StartChild("write")
 				n := binary.PutUvarint(lenBuf[:], uint64(len(*r.payload)))
 				if _, err := s.w.Write(lenBuf[:n]); err != nil {
 					s.fail(err)
@@ -313,6 +318,7 @@ func (s *ParallelStreamWriter) sequencer() {
 					col.AddFramingBytes(n)
 					s.written.Add(1)
 				}
+				spWrite.End()
 			}
 			// The payload buffer is recycled whether it was written or
 			// discarded: bufio.Writer has copied what it needs by now.
@@ -321,7 +327,9 @@ func (s *ParallelStreamWriter) sequencer() {
 			}
 		}
 		tWait = col.StageStart()
+		spWait = s.cfg.Trace.StartChild("sequencer_wait") //lint:spanend-ok ended on the next receive or by the final End below
 	}
+	spWait.End() // final gap: waiting out the results-channel close
 }
 
 // fail records the first error (in block order, since only the
@@ -361,6 +369,7 @@ func (s *ParallelStreamWriter) WriteBlock(block []float64) error {
 	}
 	col := s.cfg.Collector
 	tSplit := col.StageStart()
+	spSplit := s.cfg.Trace.StartChild("block_split")
 	var buf []float64
 	if p, ok := s.blockPool.Get().(*[]float64); ok && cap(*p) >= len(block) {
 		buf = (*p)[:len(block)]
@@ -370,6 +379,7 @@ func (s *ParallelStreamWriter) WriteBlock(block []float64) error {
 	copy(buf, block)
 	s.jobs <- pswJob{seq: s.submitted, data: buf}
 	s.submitted++
+	spSplit.End()
 	col.StageEnd(telemetry.StageBlockSplit, tSplit)
 	return nil
 }

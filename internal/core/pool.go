@@ -28,9 +28,10 @@ func getEncoder(cfg Config) *BlockEncoder {
 }
 
 // putEncoder returns an encoder to the pool, dropping references the
-// pool must not retain (collector, stats sink).
+// pool must not retain (collector, stats sink, request-scoped span).
 func putEncoder(e *BlockEncoder) {
 	e.col = nil
+	e.sp = nil
 	e.stats = nil
 	encoderPool.Put(e)
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/store"
+	"repro/internal/telemetry/trace"
 )
 
 // TenantConfig holds one tenant's service parameters. Tenants are the
@@ -22,6 +24,34 @@ type TenantConfig struct {
 	// CacheBytes sub-caps the tenant's share of the decoded-block cache;
 	// zero means only the global cap applies.
 	CacheBytes int64 `json:"cache_bytes"`
+	// TraceSampleRate overrides the server-wide trace head-sampling
+	// rate for this tenant: a value in (0, 1] samples that fraction of
+	// the tenant's requests, a negative value disables sampling for the
+	// tenant entirely, and zero inherits trace.sample_rate.
+	TraceSampleRate float64 `json:"trace_sample_rate"`
+}
+
+// TraceConfig tunes request tracing (internal/telemetry/trace): head
+// sampling, the tail-retention rules, and the bounded export ring
+// served by GET /debug/traces.
+type TraceConfig struct {
+	// SampleRate is the default head-sampling probability in [0, 1].
+	// Unsampled requests still get trace IDs for log correlation; they
+	// just record no spans.
+	SampleRate float64 `json:"sample_rate"`
+	// LatencyThresholdMS is the tail-retention latency rule: finished
+	// traces at least this slow (milliseconds) are always retained.
+	// Zero disables the rule.
+	LatencyThresholdMS float64 `json:"latency_threshold_ms"`
+	// KeepFraction is the probability in [0, 1] that an unremarkable
+	// finished trace (no error, under the latency threshold, no
+	// anomaly) is retained anyway, for baseline coverage.
+	KeepFraction float64 `json:"keep_fraction"`
+	// RingDepth bounds the retained-trace export ring (0 = 256).
+	RingDepth int `json:"ring_depth"`
+	// MaxSpansPerTrace caps recorded spans per trace (0 = 512); spans
+	// past the cap are counted as dropped.
+	MaxSpansPerTrace int `json:"max_spans_per_trace"`
 }
 
 // Config is pastrid's service configuration, loaded from a JSON file.
@@ -46,11 +76,15 @@ type Config struct {
 	DefaultErrorBound float64 `json:"default_error_bound"`
 	// Tenants is the closed set of tenants the daemon serves.
 	Tenants map[string]TenantConfig `json:"tenants"`
+	// Trace tunes request tracing and tail sampling.
+	Trace TraceConfig `json:"trace"`
 }
 
 // DefaultConfig returns the baked-in defaults: the paper's 4×9 ERI
-// geometry at the GAMESS 1e-10 bound, a 64 MiB cache, and no tenants
-// (the config file must name at least one).
+// geometry at the GAMESS 1e-10 bound, a 64 MiB cache, no tenants (the
+// config file must name at least one), and tracing with every request
+// head-sampled but only outliers retained: errors, requests over
+// 25 ms, flight-recorder anomalies, and a 1% random baseline.
 func DefaultConfig() Config {
 	return Config{
 		Listen:            "127.0.0.1:9641",
@@ -58,6 +92,11 @@ func DefaultConfig() Config {
 		NumSB:             4,
 		SBSize:            9,
 		DefaultErrorBound: 1e-10,
+		Trace: TraceConfig{
+			SampleRate:         1,
+			LatencyThresholdMS: 25,
+			KeepFraction:       0.01,
+		},
 	}
 }
 
@@ -111,8 +150,44 @@ func (c Config) Validate() error {
 		if tc.CacheBytes < 0 {
 			return fmt.Errorf("server: config: tenant %q: negative cache_bytes", name)
 		}
+		if tc.TraceSampleRate > 1 {
+			return fmt.Errorf("server: config: tenant %q: trace_sample_rate %g above 1", name, tc.TraceSampleRate)
+		}
+	}
+	if c.Trace.SampleRate < 0 || c.Trace.SampleRate > 1 {
+		return fmt.Errorf("server: config: trace.sample_rate %g outside [0, 1]", c.Trace.SampleRate)
+	}
+	if c.Trace.KeepFraction < 0 || c.Trace.KeepFraction > 1 {
+		return fmt.Errorf("server: config: trace.keep_fraction %g outside [0, 1]", c.Trace.KeepFraction)
+	}
+	if c.Trace.LatencyThresholdMS < 0 {
+		return fmt.Errorf("server: config: negative trace.latency_threshold_ms")
+	}
+	if c.Trace.RingDepth < 0 {
+		return fmt.Errorf("server: config: negative trace.ring_depth")
+	}
+	if c.Trace.MaxSpansPerTrace < 0 {
+		return fmt.Errorf("server: config: negative trace.max_spans_per_trace")
 	}
 	return nil
+}
+
+// traceConfig lowers the JSON trace section into the tracer's Config.
+func (c Config) traceConfig() trace.Config {
+	rates := make(map[string]float64)
+	for t, tc := range c.Tenants {
+		if tc.TraceSampleRate != 0 { //lint:floatcmp-ok exact zero is the documented "inherit" sentinel
+			rates[t] = tc.TraceSampleRate
+		}
+	}
+	return trace.Config{
+		SampleRate:       c.Trace.SampleRate,
+		TenantRates:      rates,
+		LatencyThreshold: time.Duration(c.Trace.LatencyThresholdMS * float64(time.Millisecond)),
+		KeepFraction:     c.Trace.KeepFraction,
+		RingDepth:        c.Trace.RingDepth,
+		MaxSpans:         c.Trace.MaxSpansPerTrace,
+	}
 }
 
 // errorBound returns the effective bound for a tenant.

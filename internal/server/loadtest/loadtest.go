@@ -4,7 +4,7 @@
 // byte-compared against a locally computed serial compress+decompress
 // of the same data. It is the acceptance harness for the service — the
 // same fleet runs as a -race test in `make serve-test` and as the
-// pastrid-bench binary that emits BENCH_PR7.json.
+// pastrid-bench binary that emits BENCH_PR8.json.
 package loadtest
 
 import (
@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/blockcache"
 	"repro/internal/core"
+	"repro/internal/telemetry/trace"
 )
 
 // Config sizes the fleet. Every field has a usable default via
@@ -47,6 +48,15 @@ type Config struct {
 	Tenants []string `json:"tenants"`
 	// Seed makes the generated data and access pattern reproducible.
 	Seed uint64 `json:"seed"`
+	// TraceAssert turns on the tail-sampling acceptance check: the
+	// fleet records the trace ID of every read from its traceparent
+	// response header, fetches /debug/traces after the read phase, and
+	// requires the traces of the slowest 1% of reads to have been
+	// retained. Only meaningful when the target server keeps every
+	// trace (keep_fraction 1) with a ring at least as deep as the
+	// fleet's request count — otherwise the random keep rule makes the
+	// check probabilistic.
+	TraceAssert bool `json:"trace_assert"`
 }
 
 // DefaultConfig is a smoke-sized fleet against the paper's 4×9
@@ -75,7 +85,25 @@ type LatencySummary struct {
 	Max   int64 `json:"max_us"`
 }
 
-// Result is the fleet outcome, serialized into BENCH_PR7.json.
+// TraceReport summarizes the tracing side of a fleet run: what the
+// /debug/traces export held and how the slowest reads fared against
+// tail sampling.
+type TraceReport struct {
+	// RetainedTraces and SpanEvents count the traces and "X" span
+	// events in the /debug/traces export after the fleet finished.
+	RetainedTraces int `json:"retained_traces"`
+	SpanEvents     int `json:"span_events"`
+	// WorstReads is the size of the slowest-1% read cohort (client-
+	// measured); WorstRetained is how many of their trace IDs appear in
+	// the export.
+	WorstReads    int `json:"worst_reads"`
+	WorstRetained int `json:"worst_retained"`
+	// Stats are the in-process tracer counters (nil against an
+	// out-of-process daemon).
+	Stats *trace.Stats `json:"stats,omitempty"`
+}
+
+// Result is the fleet outcome, serialized into BENCH_PR8.json.
 type Result struct {
 	Config              Config            `json:"config"`
 	Uploads             int               `json:"uploads"`
@@ -83,22 +111,25 @@ type Result struct {
 	Reads               int               `json:"reads"`
 	ReadFailures        int               `json:"read_failures"`
 	CorrectnessFailures int               `json:"correctness_failures"`
+	TraceAssertFailures int               `json:"trace_assert_failures,omitempty"`
 	RawBytesUploaded    int64             `json:"raw_bytes_uploaded"`
 	StoredBytes         int64             `json:"stored_bytes"`
 	UploadLatency       LatencySummary    `json:"upload_latency"`
 	ReadLatency         LatencySummary    `json:"read_latency"`
 	Cache               *blockcache.Stats `json:"cache,omitempty"`
 	CacheHitRate        float64           `json:"cache_hit_rate"`
+	Trace               *TraceReport      `json:"trace,omitempty"`
 	ElapsedMS           int64             `json:"elapsed_ms"`
 	FirstError          string            `json:"first_error,omitempty"`
 }
 
-// Target is the instance under test. CacheStats may be nil when the
-// fleet runs against an out-of-process daemon.
+// Target is the instance under test. CacheStats and TraceStats may be
+// nil when the fleet runs against an out-of-process daemon.
 type Target struct {
 	BaseURL    string
 	Client     *http.Client
 	CacheStats func() blockcache.Stats
+	TraceStats func() trace.Stats
 }
 
 // fleetRNG is the xorshift64* generator used for data and access
@@ -186,11 +217,53 @@ func (l *latRecorder) summary() LatencySummary {
 	}
 }
 
+// readSample ties one successful read's client-measured latency to the
+// trace ID the server stamped on its traceparent response header.
+type readSample struct {
+	d       time.Duration
+	traceID string
+}
+
+// readSampler accumulates read samples for the tail-retention check.
+type readSampler struct {
+	mu      sync.Mutex
+	samples []readSample
+}
+
+func (r *readSampler) add(d time.Duration, traceID string) {
+	r.mu.Lock()
+	r.samples = append(r.samples, readSample{d: d, traceID: traceID})
+	r.mu.Unlock()
+}
+
+// worst returns the slowest ~1% of samples (at least one) that carry a
+// trace ID, slowest first.
+func (r *readSampler) worst() []readSample {
+	r.mu.Lock()
+	s := make([]readSample, 0, len(r.samples))
+	for _, sm := range r.samples {
+		if sm.traceID != "" {
+			s = append(s, sm)
+		}
+	}
+	r.mu.Unlock()
+	if len(s) == 0 {
+		return nil
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].d > s[j].d })
+	n := len(s) / 100
+	if n < 1 {
+		n = 1
+	}
+	return s[:n]
+}
+
 // fleetErrs tracks failure counts and the first error for the report.
 type fleetErrs struct {
 	uploads     atomic.Int64
 	reads       atomic.Int64
 	correctness atomic.Int64
+	traceAssert atomic.Int64
 	mu          sync.Mutex
 	first       error
 }
@@ -266,6 +339,7 @@ func Run(cfg Config, tgt Target) (Result, error) {
 	}
 
 	var readsDone atomic.Int64
+	var rdSamples readSampler
 	if len(live) > 0 && cfg.Readers > 0 {
 		for rd := 0; rd < cfg.Readers; rd++ {
 			wg.Add(1)
@@ -277,12 +351,14 @@ func Run(cfg Config, tgt Target) (Result, error) {
 					sp := live[rng.next()%uint64(len(live))]
 					b := int(rng.next() % uint64(cfg.BlocksPerStream))
 					t0 := time.Now()
-					got, err := readBlock(client, tgt.BaseURL, sp.tenant, sp.id, b)
+					got, traceID, err := readBlock(client, tgt.BaseURL, sp.tenant, sp.id, b)
 					if err != nil {
 						errs.record(&errs.reads, fmt.Errorf("read %s/%s block %d: %w", sp.tenant, sp.id, b, err))
 						continue
 					}
-					rdLat.add(time.Since(t0))
+					elapsed := time.Since(t0)
+					rdLat.add(elapsed)
+					rdSamples.add(elapsed, traceID)
 					readsDone.Add(1)
 					want := sp.dec[b*blockSize*8 : (b+1)*blockSize*8]
 					if !bytes.Equal(got, want) {
@@ -313,10 +389,70 @@ func Run(cfg Config, tgt Target) (Result, error) {
 		res.Cache = &st
 		res.CacheHitRate = st.HitRate()
 	}
+	if cfg.TraceAssert {
+		rep, err := traceReport(client, tgt, &rdSamples)
+		if err != nil {
+			errs.record(&errs.traceAssert, fmt.Errorf("trace report: %w", err))
+		} else {
+			res.Trace = rep
+			if rep.WorstRetained < rep.WorstReads {
+				errs.record(&errs.traceAssert, fmt.Errorf(
+					"tail sampling dropped %d of the %d slowest reads",
+					rep.WorstReads-rep.WorstRetained, rep.WorstReads))
+			}
+		}
+		res.TraceAssertFailures = int(errs.traceAssert.Load())
+	}
 	if errs.first != nil {
 		res.FirstError = errs.first.Error()
 	}
 	return res, nil
+}
+
+// traceReport fetches the target's /debug/traces export and checks
+// that the traces of the slowest reads were retained by tail sampling.
+func traceReport(client *http.Client, tgt Target, samples *readSampler) (*TraceReport, error) {
+	resp, err := client.Get(tgt.BaseURL + "/debug/traces")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/traces: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding /debug/traces: %w", err)
+	}
+	retained := make(map[string]bool)
+	rep := &TraceReport{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		rep.SpanEvents++
+		if id := ev.Args["trace_id"]; id != "" {
+			retained[id] = true
+		}
+	}
+	rep.RetainedTraces = len(retained)
+	worst := samples.worst()
+	rep.WorstReads = len(worst)
+	for _, sm := range worst {
+		if retained[sm.traceID] {
+			rep.WorstRetained++
+		}
+	}
+	if tgt.TraceStats != nil {
+		st := tgt.TraceStats()
+		rep.Stats = &st
+	}
+	return rep, nil
 }
 
 // compressLocal runs the serial compress→decompress oracle and returns
@@ -370,25 +506,31 @@ func uploadStream(client *http.Client, baseURL string, sp *streamSpec, storedByt
 	return nil
 }
 
-// readBlock GETs one block's raw payload.
-func readBlock(client *http.Client, baseURL, tenant, id string, b int) ([]byte, error) {
+// readBlock GETs one block's raw payload and reports the trace ID the
+// server stamped on the response's traceparent header (empty when the
+// header is absent or malformed).
+func readBlock(client *http.Client, baseURL, tenant, id string, b int) ([]byte, string, error) {
 	req, err := http.NewRequest(http.MethodGet,
 		fmt.Sprintf("%s/v1/streams/%s/blocks/%d", baseURL, id, b), nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("X-Pastri-Tenant", tenant)
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	var traceID string
+	if tp := resp.Header.Get("Traceparent"); len(tp) == 55 {
+		traceID = tp[3:35]
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		return nil, traceID, fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}
-	return body, nil
+	return body, traceID, nil
 }

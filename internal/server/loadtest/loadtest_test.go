@@ -8,7 +8,8 @@ import (
 )
 
 // newFleetServer starts an in-process pastrid sized for the fleet.
-func newFleetServer(t *testing.T, cfg Config, cacheBytes int64) (*server.Server, *httptest.Server) {
+// Optional mutators adjust the server config before startup.
+func newFleetServer(t *testing.T, cfg Config, cacheBytes int64, mut ...func(*server.Config)) (*server.Server, *httptest.Server) {
 	t.Helper()
 	sc := server.DefaultConfig()
 	sc.Listen = "127.0.0.1:0"
@@ -21,6 +22,9 @@ func newFleetServer(t *testing.T, cfg Config, cacheBytes int64) (*server.Server,
 	sc.Tenants = make(map[string]server.TenantConfig, len(cfg.Tenants))
 	for _, tn := range cfg.Tenants {
 		sc.Tenants[tn] = server.TenantConfig{}
+	}
+	for _, m := range mut {
+		m(&sc)
 	}
 	srv, err := server.New(sc, nil)
 	if err != nil {
@@ -115,5 +119,68 @@ func TestFleetTinyCache(t *testing.T) {
 	}
 	if res.Cache.Evictions == 0 {
 		t.Fatal("tiny cache never evicted; the churn path went unexercised")
+	}
+}
+
+// With a keep-everything tracer (keep_fraction 1, ring deeper than the
+// fleet's request count) the tail-retention check must hold exactly:
+// every one of the slowest reads' traces is in the /debug/traces
+// export, and the tracer counters account for every request.
+func TestFleetTraceRetention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceAssert = true
+	totalReqs := cfg.Writers*cfg.StreamsPerWriter + cfg.Readers*cfg.ReadsPerReader
+	srv, ts := newFleetServer(t, cfg, 64<<20, func(sc *server.Config) {
+		sc.Trace = server.TraceConfig{
+			SampleRate:   1,
+			KeepFraction: 1,
+			RingDepth:    totalReqs + 16,
+		}
+	})
+
+	res, err := Run(cfg, Target{
+		BaseURL:    ts.URL,
+		Client:     ts.Client(),
+		CacheStats: srv.CacheStats,
+		TraceStats: srv.TraceStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UploadFailures != 0 || res.ReadFailures != 0 || res.CorrectnessFailures != 0 {
+		t.Fatalf("fleet failures: %s", res.FirstError)
+	}
+	if res.TraceAssertFailures != 0 {
+		t.Fatalf("%d trace assert failures: %s", res.TraceAssertFailures, res.FirstError)
+	}
+	rep := res.Trace
+	if rep == nil {
+		t.Fatal("TraceAssert run produced no trace report")
+	}
+	wantWorst := cfg.Readers * cfg.ReadsPerReader / 100
+	if wantWorst < 1 {
+		wantWorst = 1
+	}
+	if rep.WorstReads != wantWorst {
+		t.Fatalf("worst-read cohort %d, want %d", rep.WorstReads, wantWorst)
+	}
+	if rep.WorstRetained != rep.WorstReads {
+		t.Fatalf("tail sampling retained %d of %d slowest reads", rep.WorstRetained, rep.WorstReads)
+	}
+	if rep.RetainedTraces != totalReqs {
+		t.Fatalf("retained %d traces, want all %d fleet requests", rep.RetainedTraces, totalReqs)
+	}
+	if rep.SpanEvents <= rep.RetainedTraces {
+		t.Fatalf("span events %d: expected more spans than traces (children under each root)",
+			rep.SpanEvents)
+	}
+	if rep.Stats == nil {
+		t.Fatal("in-process target reported no tracer stats")
+	}
+	if got := rep.Stats.TracesRetained; got != uint64(totalReqs) {
+		t.Fatalf("tracer retained %d, want %d", got, totalReqs)
+	}
+	if rep.Stats.SpansDropped != 0 {
+		t.Fatalf("tracer dropped %d spans", rep.Stats.SpansDropped)
 	}
 }

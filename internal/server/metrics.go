@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Route labels for metrics and logs. A closed set keeps the label
@@ -21,7 +22,46 @@ const (
 	routeDelete    = "delete"
 	routeMetrics   = "metrics"
 	routeHealthz   = "healthz"
+	routeTraces    = "debug_traces"
 )
+
+// latencyBuckets are the fixed upper bounds (seconds) of the request
+// latency histogram. Fixed buckets keep the scrape shape stable across
+// runs, which is what lets the wire-protocol golden test pin the
+// series set.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+const latencyBucketCount = 12 // len(latencyBuckets) + the +Inf bucket
+
+// exemplar is one retained trace pinned to a histogram bucket, emitted
+// OpenMetrics-style so a dashboard can jump from a latency spike to
+// the exact trace that lives in /debug/traces.
+type exemplar struct {
+	traceID string
+	value   float64 // observed latency, seconds
+	tsUnix  float64 // observation time, unix seconds
+}
+
+// routeHist is one route's latency histogram: per-bucket counts (made
+// cumulative at exposition time) plus the most recent retained-trace
+// exemplar per bucket.
+type routeHist struct {
+	counts    [latencyBucketCount]uint64
+	sum       float64
+	exemplars [latencyBucketCount]exemplar
+}
+
+// latencyBucket returns the index of the first bucket holding sec.
+func latencyBucket(sec float64) int {
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			return i
+		}
+	}
+	return latencyBucketCount - 1 // +Inf
+}
 
 // serverMetrics aggregates pastrid's request-level counters: requests
 // by route and status code, latency sums per route, and the in-flight
@@ -34,6 +74,7 @@ type serverMetrics struct {
 	requests map[string]map[int]uint64 // route → status → count
 	durNS    map[string]uint64         // route → total ns
 	durCount map[string]uint64
+	hists    map[string]*routeHist // route → latency histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -41,13 +82,20 @@ func newServerMetrics() *serverMetrics {
 		requests: make(map[string]map[int]uint64),
 		durNS:    make(map[string]uint64),
 		durCount: make(map[string]uint64),
+		hists:    make(map[string]*routeHist),
 	}
 }
 
-func (m *serverMetrics) observe(route string, status int, d time.Duration) {
+// observe records one finished request. traceID and retained come from
+// the tracer: a request whose trace survived tail sampling stamps its
+// trace ID as the exemplar of the latency bucket it landed in, so the
+// exemplar always points at a trace that is actually in the ring.
+func (m *serverMetrics) observe(route string, status int, d time.Duration, traceID string, retained bool) {
 	if d < 0 {
 		d = 0
 	}
+	sec := d.Seconds()
+	bkt := latencyBucket(sec)
 	m.mu.Lock()
 	byStatus := m.requests[route]
 	if byStatus == nil {
@@ -57,7 +105,30 @@ func (m *serverMetrics) observe(route string, status int, d time.Duration) {
 	byStatus[status]++
 	m.durNS[route] += uint64(d)
 	m.durCount[route]++
+	h := m.hists[route]
+	if h == nil {
+		h = &routeHist{}
+		m.hists[route] = h
+	}
+	h.counts[bkt]++
+	h.sum += sec
+	if retained && traceID != "" {
+		h.exemplars[bkt] = exemplar{
+			traceID: traceID,
+			value:   sec,
+			tsUnix:  float64(time.Now().UnixNano()) / 1e9,
+		}
+	}
 	m.mu.Unlock()
+}
+
+// handleTraces serves the retained-trace ring as Chrome trace-event
+// JSON (load the body in Perfetto or chrome://tracing). The ring is
+// not drained by reading — repeated GETs see the same traces until
+// retention evicts them.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.WriteTraces(w) //lint:errdrop-ok debug export write; the client going away loses nothing
 }
 
 // handleMetrics renders the full Prometheus scrape: pastrid server
@@ -94,6 +165,14 @@ func (s *Server) writePrometheus(w interface{ Write([]byte) (int, error) }) {
 	for route, ns := range m.durNS {
 		durs = append(durs, durSample{route, ns, m.durCount[route]})
 	}
+	type histSample struct {
+		route string
+		hist  routeHist
+	}
+	var hists []histSample
+	for route, h := range m.hists {
+		hists = append(hists, histSample{route, *h})
+	}
 	m.mu.Unlock()
 	sort.Slice(reqs, func(i, j int) bool {
 		if reqs[i].route != reqs[j].route {
@@ -102,6 +181,7 @@ func (s *Server) writePrometheus(w interface{ Write([]byte) (int, error) }) {
 		return reqs[i].status < reqs[j].status
 	})
 	sort.Slice(durs, func(i, j int) bool { return durs[i].route < durs[j].route })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].route < hists[j].route })
 
 	b.header("pastrid_requests_total", "HTTP requests by route and status.", "counter")
 	for _, rs := range reqs {
@@ -112,8 +192,45 @@ func (s *Server) writePrometheus(w interface{ Write([]byte) (int, error) }) {
 		b.line(`pastrid_request_duration_seconds_sum{route=%q} %g`, ds.route, float64(ds.ns)/1e9)
 		b.line(`pastrid_request_duration_seconds_count{route=%q} %d`, ds.route, ds.n)
 	}
+	b.header("pastrid_request_latency_seconds", "Request latency histogram by route; exemplars carry retained trace IDs.", "histogram")
+	for _, hs := range hists {
+		var cum uint64
+		for i := 0; i < latencyBucketCount; i++ {
+			cum += hs.hist.counts[i]
+			le := "+Inf"
+			if i < len(latencyBuckets) {
+				le = fmt.Sprintf("%g", latencyBuckets[i])
+			}
+			if ex := hs.hist.exemplars[i]; ex.traceID != "" {
+				// OpenMetrics exemplar syntax: the trace that landed in
+				// this bucket and survived tail sampling.
+				b.line(`pastrid_request_latency_seconds_bucket{route=%q,le=%q} %d # {trace_id=%q} %g %.3f`,
+					hs.route, le, cum, ex.traceID, ex.value, ex.tsUnix)
+			} else {
+				b.line(`pastrid_request_latency_seconds_bucket{route=%q,le=%q} %d`, hs.route, le, cum)
+			}
+		}
+		b.line(`pastrid_request_latency_seconds_sum{route=%q} %g`, hs.route, hs.hist.sum)
+		b.line(`pastrid_request_latency_seconds_count{route=%q} %d`, hs.route, cum)
+	}
 	b.header("pastrid_inflight_requests", "Requests currently being served.", "gauge")
 	b.line("pastrid_inflight_requests %d", m.inflight.Load())
+
+	ts := s.tracer.Stats()
+	b.header("pastrid_traces_started_total", "Requests that entered the tracer (sampled or not).", "counter")
+	b.line("pastrid_traces_started_total %d", ts.TracesStarted)
+	b.header("pastrid_traces_sampled_total", "Requests head-sampled into span recording.", "counter")
+	b.line("pastrid_traces_sampled_total %d", ts.TracesSampled)
+	b.header("pastrid_traces_retained_total", "Finished traces kept by tail sampling, by reason.", "counter")
+	for _, reason := range trace.KeepReasons {
+		b.line(`pastrid_traces_retained_total{reason=%q} %d`, reason, ts.RetainedByReason[reason])
+	}
+	b.header("pastrid_trace_spans_total", "Spans recorded across sampled traces.", "counter")
+	b.line("pastrid_trace_spans_total %d", ts.SpansStarted)
+	b.header("pastrid_trace_spans_dropped_total", "Spans dropped by the per-trace span cap.", "counter")
+	b.line("pastrid_trace_spans_dropped_total %d", ts.SpansDropped)
+	b.header("pastrid_trace_ring_traces", "Retained traces resident in the export ring.", "gauge")
+	b.line("pastrid_trace_ring_traces %d", ts.RingTraces)
 
 	cs := s.cache.Stats()
 	b.header("pastrid_cache_hits_total", "Block cache hits.", "counter")

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Server is the pastrid daemon: store + cache + per-tenant collectors
@@ -57,6 +58,7 @@ type Server struct {
 	log        *slog.Logger
 	collectors map[string]*telemetry.Collector // fixed at startup; read-only after New
 	metrics    *serverMetrics
+	tracer     *trace.Tracer
 	mux        *http.ServeMux
 	httpSrv    *http.Server
 }
@@ -85,6 +87,7 @@ func New(cfg Config, logger *slog.Logger) (*Server, error) {
 		log:        logger,
 		collectors: make(map[string]*telemetry.Collector, len(cfg.Tenants)),
 		metrics:    newServerMetrics(),
+		tracer:     trace.New(cfg.traceConfig()),
 	}
 	for _, t := range cfg.tenantNames() {
 		s.collectors[t] = telemetry.New(-1) // counters only; no trace ring per tenant
@@ -96,6 +99,7 @@ func New(cfg Config, logger *slog.Logger) (*Server, error) {
 	s.mux.Handle("DELETE /v1/streams/{id}", s.v1(routeDelete, s.handleDelete))
 	s.mux.Handle("GET /v1/streams/{id}/blocks/{n}", s.v1(routeReadBlock, s.handleReadBlock))
 	s.mux.Handle("GET /metrics", s.instrument(routeMetrics, s.handleMetrics))
+	s.mux.Handle("GET /debug/traces", s.instrument(routeTraces, s.handleTraces))
 	s.mux.Handle("GET /healthz", s.instrument(routeHealthz, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, `{"status":"ok"}`+"\n") //lint:errdrop-ok health probe write; the prober retries
@@ -158,6 +162,15 @@ func (s *Server) Close() error { return s.st.Close() }
 
 // CacheStats exposes the block cache counters (loadtest reporting).
 func (s *Server) CacheStats() blockcache.Stats { return s.cache.Stats() }
+
+// TraceStats exposes the tracer counters (loadtest and bench
+// reporting).
+func (s *Server) TraceStats() trace.Stats { return s.tracer.Stats() }
+
+// WriteTraces writes the retained-trace ring as Chrome trace-event
+// JSON — the same body GET /debug/traces serves (daemon shutdown dump
+// and tests).
+func (s *Server) WriteTraces(w io.Writer) error { return trace.WriteChrome(w, s.tracer.Ring()) }
 
 // apiError is the wire error shape.
 type apiError struct {
@@ -241,11 +254,54 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps a handler with request logging and metrics.
+// spanCtxKey carries the request's root span through the handler
+// chain so deep layers (compress, cache, store) can hang children off
+// it without threading a parameter through every signature.
+type spanCtxKey struct{}
+
+// spanFrom returns the request's root span, or nil for untraced
+// routes and unsampled requests — every trace.Span method is nil-safe,
+// so callers use the result unconditionally.
+func spanFrom(r *http.Request) *trace.Span {
+	sp, _ := r.Context().Value(spanCtxKey{}).(*trace.Span)
+	return sp
+}
+
+// anomalyTotal sums a tenant collector's flight-recorder anomaly
+// counters (0 when no recorder is attached). The before/after delta
+// around a handler is the tail-retention anomaly signal.
+func anomalyTotal(col *telemetry.Collector) uint64 {
+	var n uint64
+	for _, v := range col.Flight().AnomalyCounts() {
+		n += v
+	}
+	return n
+}
+
+// instrument wraps a handler with request logging, metrics and the
+// request's root trace span. Scrape/probe/export routes (metrics,
+// healthz, debug_traces) are never traced — a scraper polling
+// /debug/traces must not push real traces out of the ring.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	traced := route != routeMetrics && route != routeHealthz && route != routeTraces
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		tenant := r.Header.Get("X-Pastri-Tenant")
+		var root *trace.Span
+		var preAnomalies uint64
+		if traced {
+			root = s.tracer.StartRequest(route, tenant, r.Header.Get("Traceparent"))
+			if tp := root.Traceparent(); tp != "" {
+				// Echo the (possibly newly minted) trace context so
+				// clients can correlate their own records with ours.
+				w.Header().Set("Traceparent", tp)
+			}
+			if root.Recording() {
+				preAnomalies = anomalyTotal(s.collectors[tenant])
+				r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, root))
+			}
+		}
 		s.metrics.inflight.Add(1)
 		h(sw, r)
 		s.metrics.inflight.Add(-1)
@@ -253,16 +309,32 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			sw.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
-		s.metrics.observe(route, sw.status, elapsed)
-		if route == routeMetrics || route == routeHealthz {
+		var traceID, spanID string
+		retained := false
+		if root != nil {
+			traceID, spanID = root.TraceID(), root.SpanID()
+			root.AnnotateInt("http_status", int64(sw.status))
+			root.AnnotateInt("resp_bytes", sw.bytes)
+			if sw.status >= 500 {
+				root.SetError(fmt.Errorf("http status %d", sw.status))
+			}
+			if root.Recording() && anomalyTotal(s.collectors[tenant]) > preAnomalies {
+				root.ForceKeep(trace.ReasonAnomaly)
+			}
+			retained, _ = s.tracer.FinishRequest(root)
+		}
+		s.metrics.observe(route, sw.status, elapsed, traceID, retained)
+		if route == routeMetrics || route == routeHealthz || route == routeTraces {
 			return // scrapes and probes would drown the request log
 		}
 		s.log.Info("request",
 			"http_method", r.Method,
 			"http_route", route,
 			"http_status", sw.status,
-			"tenant", r.Header.Get("X-Pastri-Tenant"),
+			"tenant", tenant,
 			"stream_id", r.PathValue("id"),
+			"trace_id", traceID,
+			"span_id", spanID,
 			"duration_us", elapsed.Microseconds(),
 			"resp_bytes", sw.bytes)
 	})
@@ -286,8 +358,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, tenant str
 		writeStoreError(w, err)
 		return
 	}
+	root := spanFrom(r)
+	sw.SetTrace(root) // store.commit/fsync spans hang off the request root
+	csp := root.StartChild("compress")
+	cfg.Trace = csp // per-stage pipeline spans hang off compress
 	psw, err := core.NewParallelStreamWriter(sw, cfg, s.cfg.Workers)
 	if err != nil {
+		csp.End()
 		sw.Abort()
 		writeStoreError(w, err)
 		return
@@ -305,6 +382,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, tenant str
 		}
 		if rerr == io.ErrUnexpectedEOF {
 			psw.Close() //lint:errdrop-ok stream is being discarded; Abort below removes it
+			csp.End()
 			sw.Abort()
 			writeError(w, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("body truncated mid-block: %d trailing bytes, block size is %d bytes", n, blockBytes))
@@ -312,6 +390,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, tenant str
 		}
 		if rerr != nil {
 			psw.Close() //lint:errdrop-ok stream is being discarded; Abort below removes it
+			csp.End()
 			sw.Abort()
 			writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+rerr.Error())
 			return
@@ -323,16 +402,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, tenant str
 		blocks++
 		if err := psw.WriteBlock(block); err != nil {
 			psw.Close() //lint:errdrop-ok first error already captured in err
+			csp.SetError(err)
+			csp.End()
 			sw.Abort()
 			writeStoreError(w, err)
 			return
 		}
 	}
 	if err := psw.Close(); err != nil {
+		csp.SetError(err)
+		csp.End()
 		sw.Abort()
 		writeStoreError(w, err)
 		return
 	}
+	csp.AnnotateInt("blocks", int64(blocks))
+	csp.End()
 	if blocks == 0 {
 		sw.Abort()
 		writeError(w, http.StatusBadRequest, "bad_request", "empty body: at least one block is required")
@@ -368,19 +453,21 @@ func (s *Server) handleReadBlock(w http.ResponseWriter, r *http.Request, tenant 
 		return
 	}
 	col := s.collectors[tenant]
-	data, err := s.cache.GetOrFill(blockcache.Key{Tenant: tenant, Stream: id, Block: n},
-		func() ([]float64, error) {
+	lsp := spanFrom(r).StartChild("cache.lookup")
+	data, err := s.cache.GetOrFillTraced(blockcache.Key{Tenant: tenant, Stream: id, Block: n}, lsp,
+		func(fsp *trace.Span) ([]float64, error) {
 			seg, err := s.st.Get(tenant, id)
 			if err != nil {
 				return nil, err
 			}
 			dst := make([]float64, seg.BlockSize())
-			if err := seg.ReadBlock(n, dst); err != nil {
+			if err := seg.ReadBlockTraced(n, dst, fsp); err != nil {
 				return nil, err
 			}
 			col.RecordDecodedBlock(seg.CompressedBlockBytes(n), len(dst)*8)
 			return dst, nil
 		})
+	lsp.End()
 	if err != nil {
 		writeStoreError(w, err)
 		return

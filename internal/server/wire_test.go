@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -58,7 +60,8 @@ func TestWireGolden(t *testing.T) {
 		"alice": {ErrorBound: 1e-8},
 		"bob":   {QuotaBytes: 64},
 	}
-	srv, err := New(cfg, nil)
+	var logBuf bytes.Buffer
+	srv, err := New(cfg, slog.New(slog.NewJSONHandler(&logBuf, nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +70,7 @@ func TestWireGolden(t *testing.T) {
 	defer ts.Close()
 
 	var transcript strings.Builder
+	seenTraceIDs := make(map[string]bool) // from response traceparent headers
 	do := func(method, path, tenant string, body []byte) {
 		t.Helper()
 		var rd io.Reader
@@ -96,6 +100,16 @@ func TestWireGolden(t *testing.T) {
 		}
 		if nv := resp.Header.Get("X-Pastri-Block-Values"); nv != "" {
 			fmt.Fprintf(&transcript, "x-pastri-block-values: %s\n", nv)
+		}
+		if tp := resp.Header.Get("Traceparent"); tp != "" {
+			// The IDs are random per run; pin the shape (version, field
+			// widths, sampled flag) and remember the trace ID for the
+			// log-correlation check below.
+			if len(tp) != 55 || tp[2] != '-' || tp[35] != '-' || tp[52] != '-' {
+				t.Fatalf("malformed traceparent header %q", tp)
+			}
+			seenTraceIDs[tp[3:35]] = true
+			fmt.Fprintf(&transcript, "traceparent: %s-$TRACE_ID-$SPAN_ID-%s\n", tp[:2], tp[53:])
 		}
 		switch {
 		case len(respBody) == 0:
@@ -164,6 +178,11 @@ func TestWireGolden(t *testing.T) {
 			series.WriteString(line + "\n")
 			continue
 		}
+		// Exemplars ("... # {trace_id=...} v ts") carry random trace IDs
+		// and appear only on retained traces; they are not identity.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
 		// "name{labels} value" or "name value" → identity only.
 		cut := strings.LastIndex(line, " ")
 		if cut < 0 {
@@ -172,6 +191,31 @@ func TestWireGolden(t *testing.T) {
 		series.WriteString(line[:cut] + "\n")
 	}
 	compareGolden(t, metricsGoldenPath, series.String())
+
+	// Log/trace correlation: every request log line must carry the same
+	// trace_id the response's traceparent header advertised, plus a
+	// well-formed span_id. Close first so in-flight handlers finish
+	// logging (httptest's Close is idempotent; the defer is a no-op).
+	ts.Close()
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec struct {
+			Msg     string `json:"msg"`
+			TraceID string `json:"trace_id"`
+			SpanID  string `json:"span_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if rec.Msg != "request" {
+			continue
+		}
+		if len(rec.TraceID) != 32 || !seenTraceIDs[rec.TraceID] {
+			t.Fatalf("request log trace_id %q does not match any traceparent response header", rec.TraceID)
+		}
+		if len(rec.SpanID) != 16 {
+			t.Fatalf("request log span_id %q is not 16 hex digits", rec.SpanID)
+		}
+	}
 }
 
 // compareGolden diffs got against the committed file, rewriting it

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/core"
+	"repro/internal/telemetry/trace"
 )
 
 // Block index format (".idx", all little-endian):
@@ -236,6 +237,14 @@ func (g *Segment) CompressedBlockBytes(b int) int {
 // checksum, and decodes it into dst (BlockSize() values). Safe for
 // concurrent use.
 func (g *Segment) ReadBlock(b int, dst []float64) error {
+	return g.ReadBlockTraced(b, dst, nil)
+}
+
+// ReadBlockTraced is ReadBlock recording store.read_at and
+// store.decode child spans under parent (typically the request's
+// cache.fill span). A nil parent disables the spans at the cost of
+// one branch each.
+func (g *Segment) ReadBlockTraced(b int, dst []float64, parent *trace.Span) error {
 	if b < 0 || b >= len(g.blocks) {
 		return fmt.Errorf("store: block %d out of range [0, %d): %w", b, len(g.blocks), ErrNotFound)
 	}
@@ -250,7 +259,10 @@ func (g *Segment) ReadBlock(b int, dst []float64) error {
 	}
 	defer g.bufs.Put(bufp)
 	buf := (*bufp)[:loc.n]
-	if _, err := g.f.ReadAt(buf, int64(loc.off)); err != nil {
+	rsp := parent.StartChild("store.read_at")
+	_, err := g.f.ReadAt(buf, int64(loc.off))
+	rsp.End()
+	if err != nil {
 		return fmt.Errorf("store: reading block %d: %v: %w", b, err, ErrCorrupt)
 	}
 	if got := crc32.ChecksumIEEE(buf); got != loc.crc {
@@ -267,7 +279,10 @@ func (g *Segment) ReadBlock(b int, dst []float64) error {
 	}
 	defer g.decs.Put(sd)
 	sd.r.Reset(buf)
-	if err := sd.dec.DecodeBlock(sd.r, dst); err != nil {
+	dsp := parent.StartChild("store.decode")
+	err = sd.dec.DecodeBlock(sd.r, dst)
+	dsp.End()
+	if err != nil {
 		return fmt.Errorf("store: decoding block %d: %v: %w", b, err, ErrCorrupt)
 	}
 	return nil

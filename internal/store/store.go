@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry/trace"
 )
 
 // Typed error classes. Callers dispatch with errors.Is; every error the
@@ -518,7 +519,13 @@ type SegmentWriter struct {
 	n       int64
 	err     error
 	done    bool
+	sp      *trace.Span // request span for Commit's child spans; may be nil
 }
+
+// SetTrace attaches the request span under which Commit records its
+// store.commit / store.fsync / store.build_index child spans. Call it
+// before Commit; a nil span (the default) disables the spans.
+func (w *SegmentWriter) SetTrace(sp *trace.Span) { w.sp = sp }
 
 // Write appends compressed stream bytes to the pending segment.
 func (w *SegmentWriter) Write(p []byte) (int, error) {
@@ -553,16 +560,22 @@ func (w *SegmentWriter) Commit() (err error) {
 	if w.done {
 		return fmt.Errorf("store: double commit")
 	}
+	csp := w.sp.StartChild("store.commit")
 	defer func() {
 		if err != nil {
+			csp.SetError(err)
 			w.Abort()
 		}
+		csp.End()
 	}()
 	if w.err != nil {
 		return w.err
 	}
 	w.done = true
-	if err := w.f.Sync(); err != nil {
+	fsp := csp.StartChild("store.fsync")
+	err = w.f.Sync()
+	fsp.End()
+	if err != nil {
 		w.done = false
 		return fmt.Errorf("store: syncing segment: %w", err)
 	}
@@ -577,7 +590,9 @@ func (w *SegmentWriter) Commit() (err error) {
 		w.done = false
 		return fmt.Errorf("store: rereading segment: %w", err)
 	}
+	bsp := csp.StartChild("store.build_index")
 	idxBytes, err := buildIndex(segBytes)
+	bsp.End()
 	if err != nil {
 		w.done = false
 		return err

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-regression tests skip under it because instrumentation
+// adds its own heap traffic.
+const raceEnabled = true

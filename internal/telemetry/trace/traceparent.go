@@ -1,0 +1,111 @@
+// W3C Trace Context traceparent handling (version 00):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// https://www.w3.org/TR/trace-context/ — only the fields pastrid
+// needs: the trace ID, the parent span ID and the sampled flag. An
+// unknown version with the 00 field layout is accepted per spec;
+// all-zero IDs are invalid.
+
+package trace
+
+import "encoding/hex"
+
+// FlagSampled is the trace-flags bit indicating the caller sampled
+// the trace; pastrid honors it on ingress and sets it on egress for
+// recording spans.
+const FlagSampled byte = 0x01
+
+// TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is the 8-byte W3C parent/span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits, or "" for the
+// zero ID (roots without a remote parent omit parent_id entirely).
+func (id SpanID) String() string {
+	if id.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(id[:])
+}
+
+// ParseTraceparent parses a traceparent header value. ok is false for
+// empty, malformed, all-zero-ID, or version-ff values; callers then
+// start a fresh trace.
+func ParseTraceparent(h string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	// version "00" layout: 2+1+32+1+16+1+2 = 55 bytes minimum; later
+	// versions may append "-..." suffixes, which are ignored.
+	if len(h) < 55 {
+		return tid, parent, 0, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, parent, 0, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tid, parent, 0, false
+	}
+	ver, ok1 := hexByte(h[0], h[1])
+	if !ok1 || ver == 0xff {
+		return tid, parent, 0, false
+	}
+	// hex.Decode would accept uppercase; W3C requires lowercase.
+	if !decodeLowerHex(tid[:], h[3:35]) || !decodeLowerHex(parent[:], h[36:52]) {
+		return tid, parent, 0, false
+	}
+	flags, ok1 = hexByte(h[53], h[54])
+	if !ok1 || tid.IsZero() || parent.IsZero() {
+		return tid, parent, 0, false
+	}
+	return tid, parent, flags, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(tid TraceID, sid SpanID, flags byte) string {
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tid[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sid[:])
+	buf[52] = '-'
+	hex.Encode(buf[53:55], []byte{flags})
+	return string(buf[:])
+}
+
+func decodeLowerHex(dst []byte, src string) bool {
+	for i := range dst {
+		b, ok := hexByte(src[2*i], src[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}
+
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	default:
+		return 0, false
+	}
+}
