@@ -9,7 +9,7 @@ FUZZTIME ?= 5s
 # PR; the floor leaves a small margin for refactors).
 COVER_THRESHOLD ?= 88.0
 
-.PHONY: build test vet lint lint-sarif lint-selftest race fuzz-smoke bench-smoke bench-json bench-gate cover serve-test cover-serve verify clean
+.PHONY: build test vet lint lint-sarif lint-selftest race fuzz-smoke bench-smoke bench-json bench-baseline bench-gate cover serve-test cover-serve verify clean
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBitioReader$$ -fuzztime=$(FUZZTIME) ./internal/bitio
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzBlockReader$$ -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzFusedCompress$$ -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/sz
 	$(GO) test -run='^$$' -fuzz=FuzzDecompress$$ -fuzztime=$(FUZZTIME) ./internal/zfp
 	$(GO) test -run='^$$' -fuzz=FuzzCFGBuild$$ -fuzztime=$(FUZZTIME) ./internal/analysis/flow
@@ -65,20 +66,29 @@ fuzz-smoke:
 # compressor's determinism check fails loudly in CI without paying full
 # benchmark time. BenchmarkCompressWorkers asserts byte-identical output
 # across worker counts; BenchmarkTelemetryOverhead exercises both the
-# nil-collector and live-collector paths.
+# nil-collector and live-collector paths. The second block covers the
+# fused pipeline's lane kernels (ER argmax, quantize+clamp, the batched
+# bit-emission kernels), so breaking one fails CI even without a full
+# measurement run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='^(BenchmarkTelemetryOverhead|BenchmarkCompressWorkers)$$' \
 		-benchtime=1x .
+	$(GO) test -run='^$$' -bench='^BenchmarkArgMaxAbs$$' -benchtime=1x ./internal/pattern
+	$(GO) test -run='^$$' -bench='^(BenchmarkQuantize|BenchmarkQuantizeClampN)$$' -benchtime=1x ./internal/quant
+	$(GO) test -run='^$$' -bench='^(BenchmarkWriteBitsN|BenchmarkWriteSignedN|BenchmarkWriteUnaryN)$$' \
+		-benchtime=1x ./internal/bitio
 
 # bench-json: measure the perf-tracked benchmarks and refresh the
-# "current" section of BENCH_PR4.json (committed; cmd/benchjson keeps
-# the baseline sections intact). Figure benchmarks run once — their
-# reported metrics (ratios, deviations) are deterministic — while the
-# kernel micro-benchmarks get real measurement time. CI uploads the
+# "current" section of BENCH_PR9.json (committed; cmd/benchjson keeps
+# the baseline sections intact — BENCH_PR4.json holds the PR-4..8
+# trajectory and is no longer refreshed). Figure benchmarks run once —
+# their reported metrics (ratios, deviations) are deterministic — while
+# the kernel micro-benchmarks get real measurement time. CI uploads the
 # JSON and the raw text as artifacts; tune BENCHTIME/BENCH_COUNT for
 # quicker local runs.
 BENCHTIME ?= 2s
 BENCH_COUNT ?= 3
+BENCH_JSON ?= BENCH_PR9.json
 KERNEL_BENCHES = ^(BenchmarkCompressWorkers|BenchmarkCompressWorkersFF|BenchmarkDecompressCollect|BenchmarkDecodeBlock|BenchmarkBlockCodec)$$
 FIGURE_BENCHES = ^(BenchmarkFig|BenchmarkAblation|BenchmarkHybrid|BenchmarkOutput|BenchmarkParallelScaling|BenchmarkParallelStreamWriter|BenchmarkTelemetryOverhead)
 
@@ -87,28 +97,54 @@ bench-json:
 	$(GO) test -run='^$$' -bench='$(FIGURE_BENCHES)' -benchmem -benchtime=1x -timeout=60m . >> bench_current.txt
 	$(GO) test -run='^$$' -bench='$(KERNEL_BENCHES)' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) -timeout=60m . >> bench_current.txt
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./internal/bitio >> bench_current.txt
-	$(GO) run ./cmd/benchjson -file BENCH_PR4.json -label current \
+	$(GO) run ./cmd/benchjson -file $(BENCH_JSON) -label current \
 		-flags '-benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) (kernel) / -benchtime=1x (figures)' \
 		< bench_current.txt
 
-# bench-gate: the perf-regression gate. Re-measures the tracked kernel
-# benchmarks quickly, converts them with benchjson, and compares their
-# medians against the committed BENCH_PR4.json "current" section with
-# cmd/benchdiff — a kernel whose median ns/op worsens by more than 10%
-# fails the build. The committed section must have been measured on a
-# comparable machine (refresh with `make bench-json` when hardware
-# changes); medians over BENCH_GATE_COUNT runs absorb scheduler noise.
+# bench-baseline: measure the kernel benchmarks on the STAGED
+# compression path (PASTRI_BENCH_STAGED=1 disables the fused pipeline
+# in the benchmark options) and record them as BENCH_PR9.json's
+# baseline_staged section. Run once per machine; bench-gate's record
+# check compares the committed sections, not live runs.
+bench-baseline:
+	@rm -f bench_baseline.txt
+	PASTRI_BENCH_STAGED=1 $(GO) test -run='^$$' -bench='$(KERNEL_BENCHES)' -benchmem \
+		-benchtime=$(BENCHTIME) -count=$(BENCH_COUNT) -timeout=60m . > bench_baseline.txt
+	$(GO) run ./cmd/benchjson -file $(BENCH_JSON) -label baseline_staged \
+		-flags 'PASTRI_BENCH_STAGED=1 -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_COUNT)' \
+		< bench_baseline.txt
+	@rm -f bench_baseline.txt
+
+# bench-gate: the perf gate, two checks. (1) Regression: re-measure the
+# tracked kernel benchmarks and compare their medians against the
+# committed BENCH_PR9.json "current" section — a kernel whose median
+# ns/op worsens beyond BENCH_GATE_THRESHOLD fails the build. The
+# threshold is 25% because shared runners drift ±20% with box load
+# (every benchmark shifts together), so a tighter absolute gate flakes;
+# 25% still catches structural regressions such as losing the fused
+# path (+45% on serial ff). The committed section must have been
+# measured on a comparable machine (refresh with `make bench-json` when
+# hardware changes); medians over BENCH_GATE_COUNT runs absorb
+# scheduler noise. (2) Record: the committed fused "current" section
+# must beat the committed staged baseline_staged section by at least
+# BENCH_RECORD_SPEEDUP on the serial (ff|ff) compress — the
+# fused-pipeline PR's acceptance criterion, checked deterministically
+# from the committed medians so it cannot flake.
 BENCH_GATE_TIME ?= 1s
-BENCH_GATE_COUNT ?= 3
-BENCH_GATE_THRESHOLD ?= 10
+BENCH_GATE_COUNT ?= 5
+BENCH_GATE_THRESHOLD ?= 25
+BENCH_RECORD_SPEEDUP ?= 1.3
 bench-gate:
 	@rm -f bench_gate.txt bench_gate.json
 	$(GO) test -run='^$$' -bench='$(KERNEL_BENCHES)' -benchmem \
 		-benchtime=$(BENCH_GATE_TIME) -count=$(BENCH_GATE_COUNT) -timeout=30m . > bench_gate.txt
 	$(GO) run ./cmd/benchjson -label gate < bench_gate.txt > bench_gate.json
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_GATE_THRESHOLD) -noise 5 \
-		BENCH_PR4.json:current bench_gate.json:gate
+		$(BENCH_JSON):current bench_gate.json:gate
 	@rm -f bench_gate.txt bench_gate.json
+	$(GO) run ./cmd/benchdiff -bench 'BenchmarkCompressWorkersFF/serial' \
+		-minspeedup $(BENCH_RECORD_SPEEDUP) \
+		$(BENCH_JSON):baseline_staged $(BENCH_JSON):current
 
 # cover: combined coverage of the codec core (internal/core +
 # internal/encoding) over their own tests plus the public-API suite;
@@ -153,4 +189,4 @@ verify: build test vet lint lint-selftest race fuzz-smoke bench-smoke bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrid_traces.json pastrilint.sarif
+	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_baseline.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrid_traces.json pastrilint.sarif

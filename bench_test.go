@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"testing"
 
 	pastri "repro"
@@ -360,6 +361,19 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// benchCompressOptions builds the Options the compress kernel
+// benchmarks run under. Setting PASTRI_BENCH_STAGED (any non-empty
+// value) disables the fused single-pass path so the same benchmark
+// names can be measured on the staged reference pipeline — that is how
+// BENCH_PR9.json's baseline_staged section is produced (`make
+// bench-baseline`), which `make bench-gate` holds the fused "current"
+// section against with a minimum-speedup record check.
+func benchCompressOptions(numSB, sbSize int, eb float64) pastri.Options {
+	opts := pastri.NewOptions(numSB, sbSize, eb)
+	opts.DisableFused = os.Getenv("PASTRI_BENCH_STAGED") != ""
+	return opts
+}
+
 // BenchmarkCompressWorkers compares the serial path against
 // CompressWorkers at 2/4/8 workers on ERI-shaped blocks. Output bytes
 // are identical at every worker count (asserted once up front), so this
@@ -367,7 +381,7 @@ func BenchmarkParallelScaling(b *testing.B) {
 // cores; on a single-core machine the curve is flat.
 func BenchmarkCompressWorkers(b *testing.B) {
 	ds := getDataset(b, "alanine", 2)
-	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	opts := benchCompressOptions(ds.numSB, ds.sbSize, 1e-10)
 	serial, err := pastri.CompressWorkers(ds.data, opts, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -402,10 +416,10 @@ func BenchmarkCompressWorkers(b *testing.B) {
 // BenchmarkCompressWorkersFF runs the same worker sweep on the
 // (ff|ff) configuration — 100×100-point blocks, the paper's
 // heavyweight shape — and is the acceptance gate for kernel-level
-// optimisations (see BENCH_PR4.json for the tracked trajectory).
+// optimisations (see BENCH_PR9.json for the tracked trajectory).
 func BenchmarkCompressWorkersFF(b *testing.B) {
 	ds := getDataset(b, "alanine", 3)
-	opts := pastri.NewOptions(ds.numSB, ds.sbSize, 1e-10)
+	opts := benchCompressOptions(ds.numSB, ds.sbSize, 1e-10)
 	serial, err := pastri.CompressWorkers(ds.data, opts, 1)
 	if err != nil {
 		b.Fatal(err)

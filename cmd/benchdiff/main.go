@@ -19,6 +19,15 @@
 // magnitude stays within -noise percent are reported as unchanged (~).
 // Rate metrics (units containing "/s") count as improvements when they
 // increase; cost metrics (ns/op, B/op, allocs/op) when they decrease.
+//
+// -minspeedup flips the gate's direction: instead of failing on
+// regressions, it fails when NEW does not beat OLD by at least the
+// given factor (old/new for cost metrics, new/old for rates). Combined
+// with -bench it turns two committed sections into a perf record — the
+// fused-pipeline PR pins its ≥1.3× (ff|ff) win this way:
+//
+//	benchdiff -bench 'FF/serial$' -minspeedup 1.3 \
+//	    BENCH_PR9.json:baseline_staged BENCH_PR9.json:current
 package main
 
 import (
@@ -57,25 +66,27 @@ type Document struct {
 
 // diffOpts carries the parsed flags; tests construct it directly.
 type diffOpts struct {
-	metric    string
-	threshold float64 // regression gate, percent
-	noise     float64 // display/ignore band, percent
-	bench     string  // benchmark name filter (regexp)
+	metric     string
+	threshold  float64 // regression gate, percent
+	noise      float64 // display/ignore band, percent
+	bench      string  // benchmark name filter (regexp)
+	minSpeedup float64 // record gate: required improvement factor (0 = off)
 }
 
 func main() {
 	var (
-		metric    = flag.String("metric", "ns/op", "metric to compare")
-		threshold = flag.Float64("threshold", 10, "fail when a benchmark worsens by more than this percent")
-		noise     = flag.Float64("noise", 5, "treat deltas within this percent as unchanged")
-		bench     = flag.String("bench", "", "compare only benchmarks matching this regexp")
+		metric     = flag.String("metric", "ns/op", "metric to compare")
+		threshold  = flag.Float64("threshold", 10, "fail when a benchmark worsens by more than this percent")
+		noise      = flag.Float64("noise", 5, "treat deltas within this percent as unchanged")
+		bench      = flag.String("bench", "", "compare only benchmarks matching this regexp")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail when NEW does not beat OLD by at least this factor (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json[:label] NEW.json[:label]")
 		os.Exit(2)
 	}
-	o := diffOpts{metric: *metric, threshold: *threshold, noise: *noise, bench: *bench}
+	o := diffOpts{metric: *metric, threshold: *threshold, noise: *noise, bench: *bench, minSpeedup: *minSpeedup}
 	if err := run(o, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
@@ -176,6 +187,9 @@ func run(o diffOpts, oldArg, newArg string, w io.Writer) error {
 	sort.Strings(names)
 
 	up := higherIsBetter(o.metric)
+	if o.minSpeedup > 0 {
+		return runRecord(o, up, names, oldMed, newMed, oldName, newName, w)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "benchmark\t%s old\t%s new\tdelta\t\n", o.metric, o.metric)
 	var regressions []string
@@ -206,6 +220,40 @@ func run(o diffOpts, oldArg, newArg string, w io.Writer) error {
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
 			len(regressions), o.threshold, strings.Join(regressions, "; "))
+	}
+	return nil
+}
+
+// runRecord is the -minspeedup mode: every compared benchmark must have
+// improved from OLD to NEW by at least the required factor. The
+// improvement factor is old/new for cost metrics and new/old for rates,
+// so "1.3" always reads as "1.3× better".
+func runRecord(o diffOpts, up bool, names []string, oldMed, newMed map[string]float64, oldName, newName string, w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\t%s old\t%s new\tspeedup\t\n", o.metric, o.metric)
+	var shortfalls []string
+	for _, name := range names {
+		ov, nv := oldMed[name], newMed[name]
+		factor := math.Inf(1)
+		switch {
+		case up && ov != 0: //lint:floatcmp-ok guarding the division
+			factor = nv / ov
+		case !up && nv != 0: //lint:floatcmp-ok guarding the division
+			factor = ov / nv
+		}
+		verdict := "ok"
+		if !(factor >= o.minSpeedup) { // NaN counts as a shortfall
+			verdict = "SHORTFALL"
+			shortfalls = append(shortfalls, fmt.Sprintf("%s %.2fx", name, factor))
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%.2fx\t%s\n", name, ov, nv, factor, verdict)
+	}
+	tw.Flush() //lint:errdrop-ok tabwriter over stdout; a failed flush has nowhere better to go
+	fmt.Fprintf(w, "%d benchmarks compared (%s vs %s, metric %s, required speedup %.2fx)\n",
+		len(names), oldName, newName, o.metric, o.minSpeedup)
+	if len(shortfalls) > 0 {
+		return fmt.Errorf("%d benchmark(s) short of the required %.2fx speedup: %s",
+			len(shortfalls), o.minSpeedup, strings.Join(shortfalls, "; "))
 	}
 	return nil
 }

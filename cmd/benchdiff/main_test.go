@@ -30,7 +30,7 @@ func TestSelfComparisonPasses(t *testing.T) {
 	// every delta is exactly zero.
 	var sb strings.Builder
 	o := diffOpts{metric: "ns/op", threshold: 10, noise: 5}
-	if err := run(o, "../../BENCH_PR4.json", "../../BENCH_PR4.json", &sb); err != nil {
+	if err := run(o, "../../BENCH_PR9.json", "../../BENCH_PR9.json", &sb); err != nil {
 		t.Fatalf("self comparison failed: %v\noutput:\n%s", err, sb.String())
 	}
 	if !strings.Contains(sb.String(), "benchmarks compared") {
@@ -125,6 +125,59 @@ func TestLabelSelectionAndErrors(t *testing.T) {
 	}
 	if err := run(o, filepath.Join(dir, "absent.json"), path, &sb); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+func TestMinSpeedupRecord(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// 100 → 70 ns/op is a 1.43× speedup; 100 → 90 only 1.11×.
+	writeDoc(t, oldPath, "current", []Result{res("BenchmarkFast", 100), res("BenchmarkSlow", 100)})
+	writeDoc(t, newPath, "current", []Result{res("BenchmarkFast", 70), res("BenchmarkSlow", 90)})
+
+	var sb strings.Builder
+	o := diffOpts{metric: "ns/op", minSpeedup: 1.3, bench: "^BenchmarkFast$"}
+	if err := run(o, oldPath, newPath, &sb); err != nil {
+		t.Fatalf("1.43x speedup must satisfy a 1.3x record: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "required speedup 1.30x") {
+		t.Fatalf("summary lacks the required factor:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	o.bench = ""
+	err := run(o, oldPath, newPath, &sb)
+	if err == nil {
+		t.Fatalf("1.11x speedup must fail a 1.3x record:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSlow") || strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Fatalf("shortfall error must name exactly the failing benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "SHORTFALL") {
+		t.Fatalf("table lacks SHORTFALL verdict:\n%s", sb.String())
+	}
+}
+
+func TestMinSpeedupRateMetric(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	mk := func(v float64) []Result {
+		return []Result{{Name: "BenchmarkKernel", Procs: 1, N: 10, Metrics: map[string]float64{"MB/s": v}}}
+	}
+	// Rates improve upward: 300 → 450 MB/s is 1.5×.
+	writeDoc(t, oldPath, "current", mk(300))
+	writeDoc(t, newPath, "current", mk(450))
+	o := diffOpts{metric: "MB/s", minSpeedup: 1.4}
+	var sb strings.Builder
+	if err := run(o, oldPath, newPath, &sb); err != nil {
+		t.Fatalf("1.5x throughput gain must satisfy a 1.4x record: %v", err)
+	}
+	o.minSpeedup = 1.6
+	sb.Reset()
+	if err := run(o, oldPath, newPath, &sb); err == nil {
+		t.Fatal("1.5x throughput gain must fail a 1.6x record")
 	}
 }
 

@@ -1,6 +1,7 @@
 // benchjson converts `go test -bench -benchmem` output into a labeled
 // JSON document so benchmark trajectories can be committed and diffed
-// across PRs (BENCH_PR4.json holds the kernel-optimisation baseline).
+// across PRs (BENCH_PR9.json is the live document; BENCH_PR4.json holds
+// the PR-4..8 kernel-optimisation trajectory).
 //
 // Usage:
 //

@@ -1,0 +1,174 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The batch writers' only contract is byte-identity with their
+// per-code counterparts at every register alignment. The tests below
+// drive random value mixes through both paths with a random-length
+// misaligning prefix, so every (width, alignment) spill case is hit.
+
+func TestWriteBitsNMatchesWriteBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := uint(0); width <= 64; width++ {
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(200)
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+			}
+			prefix := uint(rng.Intn(64))
+
+			ref, got := &Writer{}, &Writer{}
+			pfx := rng.Uint64()
+			ref.WriteBits(pfx, prefix)
+			got.WriteBits(pfx, prefix)
+			for _, v := range vals {
+				ref.WriteBits(v, width)
+			}
+			got.WriteBitsN(vals, width)
+			if ref.BitLen() != got.BitLen() || !bytes.Equal(ref.Bytes(), got.Bytes()) {
+				t.Fatalf("width %d, %d vals, prefix %d: batch stream differs from per-call", width, n, prefix)
+			}
+		}
+	}
+}
+
+func TestWriteSignedNMatchesWriteSigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for width := uint(1); width <= 64; width++ {
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(200)
+			vals := make([]int64, n)
+			for i := range vals {
+				// Random value fitting the width: mask then sign-extend.
+				u := rng.Uint64()
+				if width < 64 {
+					u &= 1<<width - 1
+					if u&(1<<(width-1)) != 0 {
+						u |= ^uint64(0) << width
+					}
+				}
+				vals[i] = int64(u)
+			}
+			prefix := uint(rng.Intn(64))
+
+			ref, got := &Writer{}, &Writer{}
+			pfx := rng.Uint64()
+			ref.WriteBits(pfx, prefix)
+			got.WriteBits(pfx, prefix)
+			for _, v := range vals {
+				ref.WriteSigned(v, width)
+			}
+			got.WriteSignedN(vals, width)
+			if ref.BitLen() != got.BitLen() || !bytes.Equal(ref.Bytes(), got.Bytes()) {
+				t.Fatalf("width %d, %d vals, prefix %d: batch stream differs from per-call", width, n, prefix)
+			}
+		}
+	}
+}
+
+func TestWriteSignedNRoundTrips(t *testing.T) {
+	vals := []int64{0, 1, -1, 3, -4, 2, -3}
+	w := &Writer{}
+	w.WriteSignedN(vals, 3)
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadSigned(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteUnaryNMatchesWriteUnary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		ns := make([]uint, n)
+		for i := range ns {
+			switch rng.Intn(10) {
+			case 0:
+				ns[i] = uint(rng.Intn(300)) // long runs incl. the >= 63 fallback
+			case 1:
+				ns[i] = 62 + uint(rng.Intn(4)) // straddle the fallback threshold
+			default:
+				ns[i] = uint(rng.Intn(8)) // typical ECQ bin prefixes
+			}
+		}
+		prefix := uint(rng.Intn(64))
+
+		ref, got := &Writer{}, &Writer{}
+		pfx := rng.Uint64()
+		ref.WriteBits(pfx, prefix)
+		got.WriteBits(pfx, prefix)
+		for _, v := range ns {
+			ref.WriteUnary(v)
+		}
+		got.WriteUnaryN(ns)
+		if ref.BitLen() != got.BitLen() || !bytes.Equal(ref.Bytes(), got.Bytes()) {
+			t.Fatalf("trial %d (%d codes, prefix %d): batch stream differs from per-call", trial, n, prefix)
+		}
+	}
+}
+
+func TestWriteUnaryNRoundTrips(t *testing.T) {
+	ns := []uint{0, 1, 5, 0, 63, 2, 130, 0, 7}
+	w := &Writer{}
+	w.WriteUnaryN(ns)
+	r := NewReader(w.Bytes())
+	for i, want := range ns {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("code %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkWriteBitsN(b *testing.B) {
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	w := NewWriter(1 << 16)
+	b.SetBytes(int64(len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteBitsN(vals, 11)
+	}
+}
+
+func BenchmarkWriteSignedN(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i%512) - 256
+	}
+	w := NewWriter(1 << 16)
+	b.SetBytes(int64(len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteSignedN(vals, 10)
+	}
+}
+
+func BenchmarkWriteUnaryN(b *testing.B) {
+	lens := unaryLens()
+	w := NewWriter(1 << 16)
+	b.SetBytes(int64(len(lens)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteUnaryN(lens)
+	}
+}

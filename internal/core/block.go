@@ -47,6 +47,8 @@ type BlockEncoder struct {
 	pq    []int64
 	sq    []int64
 	ecq   []int64
+	nzIdx []int32 // fused path: block positions of nonzero ECQ, ascending
+	nzQ   []int64 // fused path: the matching nonzero quanta
 	pHat  []float64
 	recon []float64 // flight-recorder capture arena; grown only when a recorder wants data
 	pat   pattern.Scratch
@@ -77,6 +79,8 @@ func (e *BlockEncoder) reset(cfg Config) {
 	e.pq = growI64(e.pq, cfg.SBSize)
 	e.sq = growI64(e.sq, cfg.NumSB)
 	e.ecq = growI64(e.ecq, cfg.BlockSize())
+	e.nzIdx = growI32(e.nzIdx, cfg.BlockSize())
+	e.nzQ = growI64(e.nzQ, cfg.BlockSize())
 	e.pHat = growFloat64(e.pHat, cfg.SBSize)
 }
 
@@ -85,6 +89,13 @@ func (e *BlockEncoder) reset(cfg Config) {
 func growI64(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n) //lint:hotalloc2-ok grow path: reallocates only until scratch reaches steady-state capacity
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n) //lint:hotalloc2-ok grow path: reallocates only until scratch reaches steady-state capacity
 	}
 	return s[:n]
 }
@@ -211,8 +222,28 @@ func (e *BlockEncoder) ECQCodes(block []float64) ([]int64, uint, error) {
 // EncodeBlock appends the compressed representation of block to w.
 // len(block) must equal cfg.BlockSize().
 //
+// Two implementations produce the stream: the fused single-pass path
+// (fused.go), which carries nonzero quanta as a compact list and never
+// materializes dense ECQ scratch, and the staged reference path below,
+// which writes every stage's output into scratch arenas before the
+// next stage reads it. They are byte-identical — the goldens and
+// TestFusedMatchesStaged are the oracle — and Config.DisableFused
+// selects the staged one for A/B runs.
+//
 //pastri:hotpath
 func (e *BlockEncoder) EncodeBlock(w *bitio.Writer, block []float64) error {
+	if e.cfg.DisableFused {
+		return e.encodeBlockStaged(w, block)
+	}
+	return e.encodeBlockFused(w, block)
+}
+
+// encodeBlockStaged is the staged reference encoder: analyze fills the
+// pq/sq/ecq arenas, then the emission stage walks them. Kept verbatim
+// as the semantic oracle for the fused path.
+//
+//pastri:hotpath
+func (e *BlockEncoder) encodeBlockStaged(w *bitio.Writer, block []float64) error {
 	cfg := e.cfg
 	startBits := w.BitLen()
 	pb, ecbMax, err := e.analyze(block)

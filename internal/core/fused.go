@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/encoding"
+	"repro/internal/quant"
+	"repro/internal/telemetry"
+)
+
+// Fused single-pass compression path.
+//
+// The staged encoder (block.go) quantizes every error-correction
+// residual into the dense ecq arena and then re-reads that arena twice:
+// once to count zero runs for the tree coders (or gather indices for
+// the sparse coder) and once more if stats or tracing want a scan. For
+// ERI data the overwhelming majority of quanta are zero, so almost all
+// of that traffic is spent storing and re-loading zeros.
+//
+// The fused path never materializes the dense slice. The quantization
+// pass appends only the surviving nonzero quanta to a compact
+// (index, value) list — the zero population is implicit in the index
+// gaps — and the emission stage streams straight from that list into
+// the bit writer:
+//
+//   - dense tree coders: each gap becomes one Zeros(run) call (pure
+//     zero bits, written in word-sized chunks) and each nonzero one
+//     Value call through the same per-value emitters Encode uses;
+//   - the sparse coder consumes the list as-is via EncodeSparseList;
+//   - PQ and SQ go out through the batched WriteSignedN kernel, which
+//     packs codewords into a local 64-bit register before spilling.
+//
+// Byte-identity with the staged path is structural, not coincidental:
+// the residual expression, zero fast path, per-value code tables and
+// cost algebra are shared code, zero-bit grouping is associative, and
+// the cost counts are commutative sums, so regrouping the zero
+// observations cannot change the method choice. The goldens and the
+// TestFusedMatchesStaged battery enforce it.
+//
+// When stats, telemetry or debug logging are attached, the dense ecq
+// arena is reconstructed by scattering the list (scatterECQ) so those
+// consumers see exactly what the staged path would have handed them —
+// observability costs one extra O(blockSize) pass only when someone is
+// looking.
+
+// analyzeFused runs pattern fit, P/S quantization and the
+// error-correction pass like analyze, but gathers nonzero quanta into
+// the nzIdx/nzQ arenas instead of filling the dense ecq arena. Stage
+// timings, spans and error returns mirror analyze exactly.
+//
+//pastri:hotpath
+func (e *BlockEncoder) analyzeFused(block []float64) (pb, ecbMax uint, err error) {
+	cfg := e.cfg
+	if len(block) != cfg.BlockSize() {
+		return 0, 0, fmt.Errorf("core: block has %d points, config wants %d", len(block), cfg.BlockSize())
+	}
+	// 1. Pattern analysis (Sec. IV-A), shared with the staged path.
+	tFit := e.col.StageStart()
+	spFit := e.sp.StartChild("pattern_fit")
+	res, err := e.pat.Analyze(block, cfg.NumSB, cfg.SBSize, cfg.Metric)
+	spFit.End()
+	e.col.StageEnd(telemetry.StagePatternFit, tFit)
+	if err != nil {
+		return 0, 0, err
+	}
+	tQuant := e.col.StageStart()
+	spQuant := e.sp.StartChild("quantize")
+	pat := block[res.PatternIndex*cfg.SBSize : (res.PatternIndex+1)*cfg.SBSize]
+
+	// 2. Quantize pattern and scales through the four-lane kernel
+	// (elementwise identical to the staged scalar loop).
+	eb := cfg.ErrorBound
+	pBin := 2 * eb
+	pExt, _ := quant.MaxAbs(pat)
+	pb = quant.PatternBits(pExt, eb)
+	if pb > 64 {
+		spQuant.End()
+		return 0, 0, fmt.Errorf("core: pattern extremum %g needs %d bits at EB %g", pExt, pb, eb)
+	}
+	sb := pb
+	sBin := quant.ScaleBinSize(sb)
+	quant.QuantizeClampN(e.pq, pat, pBin, pb)
+	quant.QuantizeClampN(e.sq, res.Scales, sBin, sb)
+
+	// 3. Error correction, gathering nonzeros only. Residual expression,
+	// zero fast path and quantizer are the staged loop's verbatim; the
+	// post-divide q == 0 test replaces the staged store-of-zero, and the
+	// skipped zero population is folded into the cost counts wholesale at
+	// the end (AddZeros — commutative, so the CostSet cannot differ).
+	pHat := e.pHat[:cfg.SBSize]
+	for i := range pHat {
+		pHat[i] = quant.Dequantize(e.pq[i], pBin)
+	}
+	ecBin := 2 * eb
+	zeroCut := 0.499 * ecBin
+	// ±1 fast path bounds: residuals with d/ecBin certainly in (1/2, 3/2)
+	// quantize to exactly 1 (symmetrically -1) without the divide. The
+	// margins absorb both float roundings (threshold multiply and
+	// Quantize's divide): d > fl(0.501·ecBin) forces the computed
+	// quotient above 0.501·(1−2⁻⁵³)² > 1/2, and d < fl(1.499·ecBin)
+	// keeps it below 1.499·(1+2⁻⁵³)² < 3/2, so round() lands on 1 on
+	// both routes — byte-identical to the staged path's Quantize call.
+	// ECQ residuals are overwhelmingly ±1 quanta, which is what makes
+	// the shortcut pay; boundary values fall back to the divide. The
+	// margin argument needs a normal-range ecBin whose 1.499 multiple
+	// cannot overflow, so tiny and huge bins disable the path
+	// (oneLo = +Inf fails every test below).
+	oneLo, oneHi := 0.501*ecBin, 1.499*ecBin
+	if ecBin < 1e-300 {
+		zeroCut = 0
+		oneLo = math.Inf(1)
+	} else if ecBin > 1e300 {
+		oneLo = math.Inf(1)
+	}
+	ecbMax = 1
+	// The counts live in a stack-local struct through the loop: the
+	// inlined ObserveNonZero then updates registers, not memory the
+	// compiler must assume the appends below could alias.
+	var costs encoding.CostCounts
+	nzIdx := e.nzIdx[:0]
+	nzQ := e.nzQ[:0]
+	for s := 0; s < cfg.NumSB; s++ {
+		sHat := quant.Dequantize(e.sq[s], sBin)
+		base := s * cfg.SBSize
+		// Slicing by len(pHat) tells the prove pass len(sub) == len(pHat),
+		// so pHat[i] below needs no bounds check.
+		sub := block[base : base+len(pHat)]
+		for i, x := range sub {
+			d := x - sHat*pHat[i]
+			if d < zeroCut && d > -zeroCut {
+				continue
+			}
+			// The constant-argument ObserveNonZero calls in the ±1 arms
+			// constant-fold after inlining (no sign test, no Len64).
+			var q int64
+			if d > oneLo && d < oneHi {
+				q = 1
+				if b := costs.ObserveNonZero(1); b > ecbMax {
+					ecbMax = b
+				}
+			} else if d < -oneLo && d > -oneHi {
+				q = -1
+				if b := costs.ObserveNonZero(-1); b > ecbMax {
+					ecbMax = b
+				}
+			} else {
+				if q = quant.Quantize(d, ecBin); q == 0 {
+					continue
+				}
+				if b := costs.ObserveNonZero(q); b > ecbMax {
+					ecbMax = b
+				}
+			}
+			nzIdx = append(nzIdx, int32(base+i))
+			nzQ = append(nzQ, q)
+		}
+	}
+	costs.AddZeros(uint64(cfg.BlockSize() - len(nzIdx)))
+	e.costs = costs
+	e.nzIdx, e.nzQ = nzIdx, nzQ
+	spQuant.End()
+	e.col.StageEnd(telemetry.StageQuantize, tQuant)
+	if ecbMax > 63 {
+		return 0, 0, fmt.Errorf("core: ECQ needs %d bits; data range too wide for EB %g", ecbMax, eb)
+	}
+	return pb, ecbMax, nil
+}
+
+// encodeBlockFused is EncodeBlock's fused implementation: one traversal
+// from raw doubles to emitted bits, with no dense ECQ round-trip.
+//
+//pastri:hotpath
+func (e *BlockEncoder) encodeBlockFused(w *bitio.Writer, block []float64) error {
+	cfg := e.cfg
+	startBits := w.BitLen()
+	pb, ecbMax, err := e.analyzeFused(block)
+	if err != nil {
+		return err
+	}
+	tEnc := e.col.StageStart()
+	spEnc := e.sp.StartChild("encode")
+
+	// 4. Header fields.
+	w.WriteBits(uint64(pb-1), pbFieldBits)
+	w.WriteBits(uint64(ecbMax), ecbMaxFieldBits)
+
+	// 5. PQ and SQ through the batched fixed-width kernel.
+	w.WriteSignedN(e.pq, pb)
+	sqStart := w.BitLen()
+	w.WriteSignedN(e.sq, pb) // S_b = P_b (Sec. IV-B)
+	ecqStart := w.BitLen()
+
+	// 6. ECQ straight from the nonzero list. Type-0 blocks (empty list,
+	// ECbMax == 1) spend no bits; otherwise the same exact-cost
+	// sparse/dense decision as the staged path, priced from the counts
+	// the quantize pass accumulated.
+	usedSparse := false
+	if ecbMax > 1 {
+		idxBits := encoding.IndexBits(cfg.BlockSize())
+		countBits := encoding.IndexBits(cfg.BlockSize() + 1)
+		set := e.costs.CostSet(ecbMax, idxBits, countBits)
+		if !cfg.DisableSparse && set.Sparse < set.Bits(cfg.Encoding) {
+			usedSparse = true
+			w.WriteBit(1)
+			encoding.EncodeSparseList(w, e.nzIdx, e.nzQ, ecbMax, idxBits, countBits)
+		} else {
+			w.WriteBit(0)
+			encoding.EncodeList(w, e.nzIdx, e.nzQ, cfg.BlockSize(), ecbMax, cfg.Encoding)
+		}
+	}
+
+	spEnc.End()
+	e.col.StageEnd(telemetry.StageEncode, tEnc)
+
+	// Observability consumers read dense ECQ; rebuild it from the list
+	// only when one is attached so the hot path stays scatter-free.
+	if e.stats != nil || e.col.Enabled() || e.debugLog {
+		e.scatterECQ()
+		if e.stats != nil {
+			e.stats.recordBlock(e.ecq, ecbMax,
+				sqStart-startBits-uint64(pbFieldBits+ecbMaxFieldBits), // PQ bits
+				ecqStart-sqStart,    // SQ bits
+				w.BitLen()-ecqStart, // ECQ bits
+				uint64(pbFieldBits+ecbMaxFieldBits), usedSparse)
+		}
+		if e.col.Enabled() || e.debugLog {
+			kind := telemetry.EncType0
+			if ecbMax > 1 {
+				if usedSparse {
+					kind = telemetry.EncSparse
+				} else {
+					kind = telemetry.EncDense
+				}
+			}
+			e.recordTrace(block, pb, ecbMax, w.BitLen()-startBits, kind)
+		}
+	}
+	return nil
+}
+
+// scatterECQ reconstructs the dense ecq arena from the nonzero list, so
+// stats and trace consumers see the same slice the staged path fills.
+func (e *BlockEncoder) scatterECQ() {
+	ecq := e.ecq[:e.cfg.BlockSize()]
+	for i := range ecq {
+		ecq[i] = 0
+	}
+	for k, idx := range e.nzIdx {
+		ecq[idx] = e.nzQ[k]
+	}
+}

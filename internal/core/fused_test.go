@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/encoding"
+	"repro/internal/pattern"
+)
+
+// Byte-identity battery for the fused single-pass encoder: over
+// randomized configurations and data, the fused path must produce
+// exactly the stream the staged reference path produces — same bytes,
+// same stats, same errors. The committed goldens already pin the fused
+// path to the frozen format; these tests additionally sweep corners no
+// golden covers.
+
+// compressBoth runs the same data through the fused and staged paths
+// and returns both streams (and errors).
+func compressBoth(data []float64, cfg Config, workers int) (fused, staged []byte, errF, errS error) {
+	fCfg, sCfg := cfg, cfg
+	fCfg.DisableFused = false
+	sCfg.DisableFused = true
+	fused, errF = CompressWorkers(data, fCfg, workers, nil)
+	staged, errS = CompressWorkers(data, sCfg, workers, nil)
+	return
+}
+
+func TestFusedMatchesStaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	metrics := []pattern.Metric{pattern.ER, pattern.FR, pattern.AR, pattern.AAR, pattern.IS}
+	methods := []encoding.Method{encoding.Fixed, encoding.Tree1, encoding.Tree2,
+		encoding.Tree3, encoding.Tree4, encoding.Tree5}
+	workerSet := []int{1, 2, 4, 7}
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{
+			NumSB:         1 + rng.Intn(12),
+			SBSize:        1 + rng.Intn(24),
+			ErrorBound:    math.Pow(10, -3-float64(rng.Intn(10))), // 1e-3 .. 1e-12
+			Metric:        metrics[rng.Intn(len(metrics))],
+			Encoding:      methods[rng.Intn(len(methods))],
+			DisableSparse: rng.Intn(4) == 0,
+		}
+		nblocks := 1 + rng.Intn(20)
+		var data []float64
+		if rng.Intn(2) == 0 {
+			data = eriLikeBlocks(cfg, nblocks, rng.Int63())
+		} else {
+			data = make([]float64, 0, nblocks*cfg.BlockSize())
+			amp := math.Pow(10, float64(rng.Intn(12)-6))
+			noise := cfg.ErrorBound * math.Pow(10, float64(rng.Intn(4)-1))
+			for b := 0; b < nblocks; b++ {
+				data = append(data, patternedBlock(rng, cfg.NumSB, cfg.SBSize, amp, noise, 0.05)...)
+			}
+		}
+		workers := workerSet[rng.Intn(len(workerSet))]
+
+		fused, staged, errF, errS := compressBoth(data, cfg, workers)
+		if (errF == nil) != (errS == nil) {
+			t.Fatalf("trial %d (%+v): error parity broken: fused=%v staged=%v", trial, cfg, errF, errS)
+		}
+		if errF != nil {
+			if errF.Error() != errS.Error() {
+				t.Fatalf("trial %d (%+v): errors differ: fused=%v staged=%v", trial, cfg, errF, errS)
+			}
+			continue
+		}
+		if !bytes.Equal(fused, staged) {
+			t.Fatalf("trial %d (%+v, workers=%d): fused stream differs from staged (%d vs %d bytes)",
+				trial, cfg, workers, len(fused), len(staged))
+		}
+		dec, err := Decompress(fused, 1)
+		if err != nil {
+			t.Fatalf("trial %d: decompress: %v", trial, err)
+		}
+		for i, x := range data {
+			// A few ulps of the value magnitude cover reconstruction
+			// rounding when EB sits below representable precision.
+			tol := cfg.ErrorBound + 8*math.Abs(x)*0x1p-52
+			if math.Abs(x-dec[i]) > tol {
+				t.Fatalf("trial %d: point %d violates EB: |%g - %g| > %g", trial, i, x, dec[i], cfg.ErrorBound)
+			}
+		}
+	}
+}
+
+// TestFusedMatchesStagedSpecials hits block shapes the random sweep is
+// unlikely to produce: all-zero (Type-0), pure pattern (zero residual),
+// denormal data, single-point geometry, and residual magnitudes that
+// force the widest ECQ bins.
+func TestFusedMatchesStagedSpecials(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	cases := []struct {
+		name string
+		cfg  Config
+		data func(cfg Config) []float64
+	}{
+		{"type0", Defaults(6, 10, 1e-8), func(cfg Config) []float64 {
+			return make([]float64, cfg.BlockSize())
+		}},
+		{"pure-pattern", Defaults(4, 12, 1e-10), func(cfg Config) []float64 {
+			data := make([]float64, cfg.BlockSize())
+			for s := 0; s < cfg.NumSB; s++ {
+				for i := 0; i < cfg.SBSize; i++ {
+					data[s*cfg.SBSize+i] = float64(s+1) * math.Sin(float64(i))
+				}
+			}
+			return data
+		}},
+		{"denormal", Defaults(3, 7, 1e-12), func(cfg Config) []float64 {
+			data := make([]float64, cfg.BlockSize())
+			for i := range data {
+				data[i] = float64(i%5) * 5e-324
+			}
+			return data
+		}},
+		{"single-point", Defaults(1, 1, 1e-10), func(cfg Config) []float64 {
+			return []float64{0.7071}
+		}},
+		{"wide-bins", Defaults(2, 8, 1e-3), func(cfg Config) []float64 {
+			data := make([]float64, cfg.BlockSize())
+			for i := range data {
+				// Large deviations from any pattern fit force wide ECQ bins.
+				data[i] = rng.NormFloat64() * math.Pow(10, float64(i%7))
+			}
+			return data
+		}},
+		{"negative-zero", Defaults(2, 6, 1e-9), func(cfg Config) []float64 {
+			data := make([]float64, cfg.BlockSize())
+			for i := range data {
+				data[i] = math.Copysign(0, -1)
+			}
+			return data
+		}},
+	}
+	for _, tc := range cases {
+		data := tc.data(tc.cfg)
+		fused, staged, errF, errS := compressBoth(data, tc.cfg, 1)
+		if (errF == nil) != (errS == nil) {
+			t.Fatalf("%s: error parity broken: fused=%v staged=%v", tc.name, errF, errS)
+		}
+		if errF != nil {
+			continue
+		}
+		if !bytes.Equal(fused, staged) {
+			t.Fatalf("%s: fused stream differs from staged", tc.name)
+		}
+	}
+}
+
+// TestFusedErrorParity: inputs that make compression fail must fail
+// identically on both paths (same error text), since callers and tests
+// match on these messages.
+func TestFusedErrorParity(t *testing.T) {
+	cfg := Defaults(2, 4, 1e-10)
+	for _, tc := range []struct {
+		name string
+		data []float64
+	}{
+		{"nan", []float64{1, 2, math.NaN(), 4, 5, 6, 7, 8}},
+		{"inf", []float64{1, 2, math.Inf(1), 4, 5, 6, 7, 8}},
+		{"huge-range", []float64{1e300, 1, 1, 1, 1, 1, 1, 1}},
+	} {
+		_, _, errF, errS := compressBoth(tc.data, cfg, 1)
+		if errF == nil || errS == nil {
+			if (errF == nil) != (errS == nil) {
+				t.Fatalf("%s: error parity broken: fused=%v staged=%v", tc.name, errF, errS)
+			}
+			continue
+		}
+		if errF.Error() != errS.Error() {
+			t.Fatalf("%s: errors differ:\n  fused:  %v\n  staged: %v", tc.name, errF, errS)
+		}
+	}
+}
+
+// TestFusedStatsParity: the scatter-reconstructed ECQ the fused path
+// hands to the stats sink must yield exactly the staged path's stats.
+func TestFusedStatsParity(t *testing.T) {
+	cfg := Defaults(6, 10, 1e-10)
+	data := eriLikeBlocks(cfg, 31, 7)
+	fCfg, sCfg := cfg, cfg
+	sCfg.DisableFused = true
+	fStats, sStats := NewStats(), NewStats()
+	if _, err := CompressWorkers(data, fCfg, 1, fStats); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompressWorkers(data, sCfg, 1, sStats); err != nil {
+		t.Fatal(err)
+	}
+	if fStats.Blocks != sStats.Blocks || fStats.TypeCount != sStats.TypeCount ||
+		fStats.SparseBlocks != sStats.SparseBlocks ||
+		fStats.PayloadBits() != sStats.PayloadBits() {
+		t.Fatalf("stats diverge:\n  fused:  %+v\n  staged: %+v", fStats, sStats)
+	}
+}
+
+// TestFusedEncodeBlockAllocs: the fused hot path must stay
+// allocation-free once the arenas are warm, exactly like the staged one
+// (TestEncodeBlockAllocs covers the dispatch default).
+func TestFusedEncodeBlockAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	for _, tc := range []struct {
+		name         string
+		disableFused bool
+	}{
+		{"fused", false},
+		{"staged", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := allocTestConfig()
+			cfg.DisableFused = tc.disableFused
+			block := allocTestData(cfg, 1)
+			enc, err := NewBlockEncoder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := bitio.NewWriter(cfg.BlockSize())
+			allocs := testing.AllocsPerRun(100, func() {
+				w.Reset()
+				if err := enc.EncodeBlock(w, block); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s EncodeBlock allocates %v times per block, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// FuzzFusedCompress feeds arbitrary geometry, error bound and raw bytes
+// through both paths, requiring error parity and byte-identical streams.
+func FuzzFusedCompress(f *testing.F) {
+	seed := func(cfg Config, data []float64) {
+		raw := make([]byte, len(data)*8)
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+		f.Add(uint8(cfg.NumSB), uint8(cfg.SBSize), uint8(0), raw)
+	}
+	cfg := Defaults(4, 6, 1e-10)
+	seed(cfg, eriLikeBlocks(cfg, 2, 1))
+	seed(Defaults(2, 3, 1e-10), []float64{0, 0, 0, 0, 0, 0})
+	seed(Defaults(1, 2, 1e-10), []float64{math.NaN(), 1})
+	f.Fuzz(func(t *testing.T, nsb, sbs, ebSel uint8, raw []byte) {
+		cfg := Defaults(1+int(nsb%10), 1+int(sbs%12), math.Pow(10, -3-float64(ebSel%10)))
+		bs := cfg.BlockSize()
+		nblocks := len(raw) / 8 / bs
+		if nblocks == 0 {
+			return
+		}
+		if nblocks > 8 {
+			nblocks = 8
+		}
+		data := make([]float64, nblocks*bs)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		fused, staged, errF, errS := compressBoth(data, cfg, 1+int(nsb%4))
+		if (errF == nil) != (errS == nil) {
+			t.Fatalf("error parity broken: fused=%v staged=%v", errF, errS)
+		}
+		if errF != nil {
+			if errF.Error() != errS.Error() {
+				t.Fatalf("errors differ: fused=%v staged=%v", errF, errS)
+			}
+			return
+		}
+		if !bytes.Equal(fused, staged) {
+			t.Fatalf("fused stream differs from staged (%d vs %d bytes)", len(fused), len(staged))
+		}
+	})
+}

@@ -24,11 +24,21 @@ func (c *CostCounts) Reset() { *c = CostCounts{} }
 // (identical to quant.BitsForValue), so a caller that also needs
 // ECb_max gets it from the same classification.
 func (c *CostCounts) Observe(v int64) uint {
-	c.N++
 	if v == 0 {
+		c.N++
 		c.Zero++
 		return 1
 	}
+	return c.ObserveNonZero(v)
+}
+
+// ObserveNonZero is Observe restricted to v != 0 — the classification
+// the fused compression path runs per retained quantum after its
+// zero fast path has already skipped the (overwhelming) zero
+// population; those are folded in wholesale with AddZeros. Calling it
+// with v == 0 corrupts the counts.
+func (c *CostCounts) ObserveNonZero(v int64) uint {
+	c.N++
 	a := uint64(v)
 	if v < 0 {
 		a = uint64(-v)
@@ -43,6 +53,14 @@ func (c *CostCounts) Observe(v int64) uint {
 	// for every nonzero value (bin >= 2).
 	c.tree4 += uint64(2*bin - 1)
 	return bin
+}
+
+// AddZeros folds k zero-valued observations into the counts at once.
+// All counts are commutative sums, so Observe(0) k times, interleaved
+// anywhere in the observation order, yields the same CostSet.
+func (c *CostCounts) AddZeros(k uint64) {
+	c.N += k
+	c.Zero += k
 }
 
 // CostSet holds the exact encoded size, in bits, of one ECQ slice under

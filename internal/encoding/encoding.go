@@ -108,14 +108,7 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 				i += k
 				continue
 			}
-			v := vals[i]
-			if ecbMax < 64 {
-				// "1" + value as one (1+ecbMax)-bit pattern.
-				w.WriteBits(1<<ecbMax|uint64(v)&((1<<ecbMax)-1), 1+ecbMax) //lint:shiftwidth-ok ecbMax < 64 by the branch condition
-			} else {
-				w.WriteBit(1)
-				w.WriteSigned(v, ecbMax)
-			}
+			emitTree1Value(w, vals[i], ecbMax)
 			i++
 		}
 	case Tree2:
@@ -125,19 +118,7 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 				i += k
 				continue
 			}
-			switch v := vals[i]; v {
-			case 1:
-				w.WriteBits(0b10, 2)
-			case -1:
-				w.WriteBits(0b110, 3)
-			default:
-				if ecbMax <= 61 {
-					w.WriteBits(0b111<<ecbMax|uint64(v)&((1<<ecbMax)-1), 3+ecbMax) //lint:shiftwidth-ok ecbMax <= 61 by the branch condition
-				} else {
-					w.WriteBits(0b111, 3)
-					w.WriteSigned(v, ecbMax)
-				}
-			}
+			emitTree2Value(w, vals[i], ecbMax)
 			i++
 		}
 	case Tree3:
@@ -162,14 +143,7 @@ func Encode(w *bitio.Writer, vals []int64, ecbMax uint, m Method) {
 					i += k
 					continue
 				}
-				switch v := vals[i]; v {
-				case 1:
-					w.WriteBits(0b10, 2)
-				case -1:
-					w.WriteBits(0b11, 2)
-				default:
-					panic(fmt.Sprintf("encoding: value %d exceeds ECb_max=2", v)) //lint:nopanic-ok unreachable: quantizer clamps error-correction values to ECb_max
-				}
+				emitTree5NarrowValue(w, vals[i])
 				i++
 			}
 		} else {
@@ -188,20 +162,7 @@ func encodeTree3(w *bitio.Writer, vals []int64, ecbMax uint) {
 			i += k
 			continue
 		}
-		switch v := vals[i]; v {
-		case 1:
-			w.WriteBits(0b110, 3)
-		case -1:
-			w.WriteBits(0b111, 3)
-		default:
-			if ecbMax <= 62 {
-				// "10" + value as one (2+ecbMax)-bit pattern.
-				w.WriteBits(0b10<<ecbMax|uint64(v)&((1<<ecbMax)-1), 2+ecbMax) //lint:shiftwidth-ok ecbMax <= 62 by the branch condition
-			} else {
-				w.WriteBits(0b10, 2)
-				w.WriteSigned(v, ecbMax)
-			}
-		}
+		emitTree3Value(w, vals[i], ecbMax)
 		i++
 	}
 }

@@ -1,0 +1,128 @@
+package eri
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/basis"
+)
+
+// StreamBlocks evaluates same-L shell quartets in parallel and hands
+// each block, in quartet order, to emit — the streaming analog of
+// ComputeQuartets for pipelines that compress integrals as they are
+// generated instead of materializing the whole dataset first (the
+// compute-and-compress coupling of the FPGA ERI pipeline, in software).
+// Feeding emit into a ParallelStreamWriter.WriteBlock produces a stream
+// byte-identical to batch-compressing the ComputeQuartets dataset; see
+// TestStreamBlocksMatchesCompute.
+//
+// Memory stays bounded: at most ~2×workers block buffers exist at any
+// time, recycled through a pool once emit returns — the buffer handed
+// to emit is only valid for the duration of the call. emit runs on one
+// goroutine, in block order (a pending map holds the few
+// out-of-order completions, exactly like ParallelStreamWriter's
+// sequencer). A non-nil error from emit cancels the remaining work and
+// is returned.
+func StreamBlocks(prepared []*PreparedShell, quartets []Quartet, workers int, emit func(b int, block []float64) error) error {
+	if len(prepared) == 0 || len(quartets) == 0 {
+		return fmt.Errorf("eri: nothing to compute")
+	}
+	l := prepared[0].Shell.L
+	nc := basis.NCart(l)
+	blockLen := nc * nc * nc * nc
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(quartets) {
+		workers = len(quartets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	pool := sync.Pool{New: func() any {
+		buf := make([]float64, blockLen)
+		return &buf
+	}}
+
+	type done struct {
+		b   int
+		buf *[]float64
+	}
+	// results is sized so a worker finishing far ahead of the sequencer
+	// can always deposit and move on; the ticket channel below is what
+	// actually bounds the number of in-flight buffers.
+	results := make(chan done, len(quartets))
+	// Each in-flight block holds one ticket from compute start until the
+	// sequencer has emitted it, capping live buffers at 2×workers.
+	tickets := make(chan struct{}, 2*workers)
+	cancel := make(chan struct{})
+	next := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			en := NewEngine(l)
+			for b := range next {
+				q := quartets[b]
+				buf := pool.Get().(*[]float64)
+				en.Quartet(prepared[q[0]], prepared[q[1]], prepared[q[2]], prepared[q[3]], *buf)
+				results <- done{b, buf}
+			}
+		}()
+	}
+
+	// Feeder: one ticket per dispatched block; stops on cancellation.
+	go func() {
+		defer close(next)
+		for b := range quartets {
+			select {
+			case tickets <- struct{}{}:
+			case <-cancel:
+				return
+			}
+			select {
+			case next <- b:
+			case <-cancel:
+				return
+			}
+		}
+	}()
+
+	// Sequencer: deliver in block order, recycling buffers after emit.
+	var err error
+	pending := make(map[int]*[]float64)
+	want := 0
+	for d := range results {
+		pending[d.b] = d.buf
+		for buf, ok := pending[want]; ok; buf, ok = pending[want] {
+			delete(pending, want)
+			if err = emit(want, *buf); err != nil {
+				close(cancel)
+				break
+			}
+			pool.Put(buf)
+			<-tickets
+			want++
+		}
+		if err != nil || want == len(quartets) {
+			break
+		}
+	}
+	// Drain: workers may still be computing dispatched blocks; wait for
+	// them, then empty the results channel so nothing leaks.
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for range results {
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}

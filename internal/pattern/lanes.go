@@ -1,0 +1,78 @@
+package pattern
+
+import "math"
+
+// ArgMaxAbs returns the largest |x| in xs and the index of its first
+// occurrence, with (-1, 0) for an empty slice and NaNs never selected
+// (exactly as in a sequential strict-`>` scan, where they compare
+// false against every running best). This is the ER metric's
+// whole-block extremum scan — the single hottest loop of compression,
+// since it touches every point.
+//
+// The loop compares magnitudes in the integer domain. For non-NaN
+// doubles, clearing the sign bit leaves a value whose unsigned integer
+// order is exactly the order of |x| (IEEE-754 magnitudes are
+// lexicographic in the remaining bits, denormals and ±Inf included),
+// so the comparison runs on plain integer loads with no float→int
+// register round-trip per element (math.Abs is not an amd64
+// intrinsic) and no floating-point compare. Each lane best holds the
+// masked bits plus one: the +1 bias is order-preserving (masked bits
+// never exceed 2^63, so it cannot overflow) and makes 0 an unambiguous
+// "lane never updated" sentinel even when the data's largest magnitude
+// is ±0, whose masked bits are 0. NaNs mask to values above the ±Inf
+// pattern and are rejected by the explicit `a <= infBits` test before
+// the lane compare.
+//
+// The result is lane-count invariant: each lane keeps the first strict
+// maximum of its stride subsequence (strict `>` preserves the earliest
+// occurrence), so the lane achieving the global maximum magnitude
+// holds the globally smallest such index, and the merge — strictly
+// greater, or equal with smaller index — recovers exactly the
+// sequential first-strict-max answer. TestArgMaxAbsMatchesSequential
+// pins the equivalence on adversarial inputs (ties, NaNs, ±Inf, ±0,
+// denormals).
+//
+//pastri:hotpath
+func ArgMaxAbs(xs []float64) (float64, int) {
+	const infBits = 0x7FF0000000000000 // masked bits of ±Inf; anything above is a NaN
+	var b0, b1, b2, b3 uint64
+	i0, i1, i2, i3 := 0, 0, 0, 0
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		if a := math.Float64bits(xs[i]) &^ (1 << 63); a <= infBits && a+1 > b0 {
+			b0, i0 = a+1, i
+		}
+		if a := math.Float64bits(xs[i+1]) &^ (1 << 63); a <= infBits && a+1 > b1 {
+			b1, i1 = a+1, i+1
+		}
+		if a := math.Float64bits(xs[i+2]) &^ (1 << 63); a <= infBits && a+1 > b2 {
+			b2, i2 = a+1, i+2
+		}
+		if a := math.Float64bits(xs[i+3]) &^ (1 << 63); a <= infBits && a+1 > b3 {
+			b3, i3 = a+1, i+3
+		}
+	}
+	// Tail folds into lane 0: its indices exceed every stored one, and
+	// strict `>` keeps the earlier occurrence.
+	for ; i < n; i++ {
+		if a := math.Float64bits(xs[i]) &^ (1 << 63); a <= infBits && a+1 > b0 {
+			b0, i0 = a+1, i
+		}
+	}
+	best, idx := b0, i0
+	if b1 > best || (b1 == best && i1 < idx) {
+		best, idx = b1, i1
+	}
+	if b2 > best || (b2 == best && i2 < idx) {
+		best, idx = b2, i2
+	}
+	if b3 > best || (b3 == best && i3 < idx) {
+		best, idx = b3, i3
+	}
+	if best == 0 {
+		// No lane ever updated: empty input or all NaN.
+		return -1, 0
+	}
+	return math.Float64frombits(best - 1), idx
+}

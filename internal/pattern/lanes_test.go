@@ -1,0 +1,67 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// argMaxAbsSeq is the reference semantics ArgMaxAbs must reproduce:
+// a sequential strict-`>` scan from index 0 with best initialized
+// below every magnitude.
+func argMaxAbsSeq(xs []float64) (float64, int) {
+	best, idx := -1.0, 0
+	for i, x := range xs {
+		if a := math.Abs(x); a > best {
+			best, idx = a, i
+		}
+	}
+	return best, idx
+}
+
+func TestArgMaxAbsMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specials := []float64{0, math.Copysign(0, -1), 1, -1, math.NaN(),
+		math.Inf(1), math.Inf(-1), 5e-324, -5e-324, 1e-310, math.MaxFloat64}
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(67) // cover empty, sub-lane-width and multi-word lengths
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(4) {
+			case 0:
+				xs[i] = specials[rng.Intn(len(specials))]
+			case 1:
+				// Deliberate ties: same magnitude, random sign, repeated.
+				xs[i] = math.Copysign(float64(rng.Intn(4)), float64(rng.Intn(3)-1))
+			default:
+				xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+			}
+		}
+		wantBest, wantIdx := argMaxAbsSeq(xs)
+		gotBest, gotIdx := ArgMaxAbs(xs)
+		if gotIdx != wantIdx || math.Float64bits(gotBest) != math.Float64bits(wantBest) {
+			t.Fatalf("trial %d (n=%d): ArgMaxAbs = (%g, %d), sequential = (%g, %d)\nxs = %v",
+				trial, n, gotBest, gotIdx, wantBest, wantIdx, xs)
+		}
+	}
+}
+
+func TestArgMaxAbsEmpty(t *testing.T) {
+	best, idx := ArgMaxAbs(nil)
+	if best != -1 || idx != 0 {
+		t.Fatalf("ArgMaxAbs(nil) = (%g, %d), want (-1, 0)", best, idx)
+	}
+}
+
+func BenchmarkArgMaxAbs(b *testing.B) {
+	xs := make([]float64, 10000) // one (ff|ff) block
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.5) * 1e-4
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArgMaxAbs(xs)
+	}
+}

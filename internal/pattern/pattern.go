@@ -143,49 +143,13 @@ func analyzePointRatio(block []float64, numSB, sbSize int, m Metric, scales []fl
 		refPos = 0
 	case ER:
 		// Sub-block containing the block extremum; reference is the
-		// extremum's intra-sub-block position. The scan is the hottest
-		// loop of compression (it touches every point), so it runs as
-		// four independent lanes: each lane keeps the first strict
-		// maximum of its stride, and the merge prefers the smaller
-		// index on equal magnitudes — together that reproduces the
-		// sequential first-strict-max exactly (NaNs included: NaN
-		// compares false against every lane best, so it is never
-		// selected, same as a sequential `>` scan).
-		b0, b1, b2, b3 := -1.0, -1.0, -1.0, -1.0
-		i0, i1, i2, i3 := 0, 0, 0, 0
-		n := len(block)
-		i := 0
-		for ; i+4 <= n; i += 4 {
-			if a := math.Abs(block[i]); a > b0 {
-				b0, i0 = a, i
-			}
-			if a := math.Abs(block[i+1]); a > b1 {
-				b1, i1 = a, i+1
-			}
-			if a := math.Abs(block[i+2]); a > b2 {
-				b2, i2 = a, i+2
-			}
-			if a := math.Abs(block[i+3]); a > b3 {
-				b3, i3 = a, i+3
-			}
-		}
-		// Tail folds into lane 0: its indices exceed every stored one,
-		// and strict `>` keeps the earlier occurrence.
-		for ; i < n; i++ {
-			if a := math.Abs(block[i]); a > b0 {
-				b0, i0 = a, i
-			}
-		}
-		best, idx := b0, i0
-		if b1 > best || (b1 == best && i1 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
-			best, idx = b1, i1
-		}
-		if b2 > best || (b2 == best && i2 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
-			best, idx = b2, i2
-		}
-		if b3 > best || (b3 == best && i3 < idx) { //lint:floatcmp-ok exact tie-break on equal magnitudes picks the smaller index, matching the sequential scan
-			idx = i3
-		}
+		// extremum's intra-sub-block position. The whole-block scan is
+		// the eight-lane ArgMaxAbs kernel, whose result is proven
+		// identical to a sequential first-strict-max scan (see its
+		// doc comment); both the staged and the fused compression
+		// paths go through this one kernel, so the pattern choice can
+		// never diverge between them.
+		_, idx := ArgMaxAbs(block)
 		patIdx, refPos = idx/sbSize, idx%sbSize
 	}
 	ref := block[patIdx*sbSize+refPos]

@@ -1,0 +1,27 @@
+package quant
+
+// QuantizeClampN fills dst[i] = ClampSigned(Quantize(xs[i], binSize), width)
+// for every element. The loop body is element-wise (no cross-element
+// arithmetic), so the 4-lane unrolling below is bit-identical to the
+// sequential loop — it exists purely to keep several of Quantize's
+// divides in flight at once, which is what bounds the pattern/scale
+// quantization stage. len(dst) must be >= len(xs).
+//
+//pastri:hotpath
+func QuantizeClampN(dst []int64, xs []float64, binSize float64, width uint) {
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		q0 := Quantize(xs[i], binSize)
+		q1 := Quantize(xs[i+1], binSize)
+		q2 := Quantize(xs[i+2], binSize)
+		q3 := Quantize(xs[i+3], binSize)
+		dst[i] = ClampSigned(q0, width)
+		dst[i+1] = ClampSigned(q1, width)
+		dst[i+2] = ClampSigned(q2, width)
+		dst[i+3] = ClampSigned(q3, width)
+	}
+	for ; i < n; i++ {
+		dst[i] = ClampSigned(Quantize(xs[i], binSize), width)
+	}
+}

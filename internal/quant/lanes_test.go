@@ -1,0 +1,53 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeClampNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	specials := []float64{0, math.Copysign(0, -1), math.NaN(),
+		math.Inf(1), math.Inf(-1), 5e-324, 1e-310, -1e300}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(23) // cover empty, tail-only and multi-lane lengths
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.Intn(5) == 0 {
+				xs[i] = specials[rng.Intn(len(specials))]
+			} else {
+				xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(30)-15))
+			}
+		}
+		binSize := math.Pow(10, float64(rng.Intn(24)-12))
+		width := uint(1 + rng.Intn(64))
+
+		want := make([]int64, n)
+		for i, x := range xs {
+			want[i] = ClampSigned(Quantize(x, binSize), width)
+		}
+		got := make([]int64, n)
+		QuantizeClampN(got, xs, binSize, width)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: element %d: QuantizeClampN = %d, sequential = %d (x=%g bin=%g width=%d)",
+					trial, i, got[i], want[i], xs[i], binSize, width)
+			}
+		}
+	}
+}
+
+func BenchmarkQuantizeClampN(b *testing.B) {
+	xs := make([]float64, 10000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.5) * 1e-4
+	}
+	dst := make([]int64, len(xs))
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuantizeClampN(dst, xs, 2e-10, 30)
+	}
+}

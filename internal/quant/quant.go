@@ -17,9 +17,36 @@ import (
 	"math/bits"
 )
 
-// Quantize maps x onto the integer grid with the given bin size.
+// Quantize maps x onto the integer grid with the given bin size:
+// round(x/binSize) half away from zero, exactly as math.Round.
+//
+// The fast path avoids math.Round, which is not an intrinsic on amd64
+// and costs a chain of bit manipulations per call. For |r| < 2^52 it is
+// bit-exact by construction: q = trunc(r) is exactly representable, the
+// subtraction r − q is exact (both are multiples of ulp(r) and the
+// difference fits the mantissa), so f is r's true fractional part in
+// (−1, 1); f+f doubles it exactly (power-of-two scale), and truncating
+// 2f to int64 yields ±1 exactly when |f| ≥ 0.5 — including the |f| =
+// 0.5 boundary, which is what makes this round-half-AWAY rather than
+// half-even — and 0 otherwise. NaN and |r| ≥ 2^52 (where doubles are
+// integral anyway, or conversion saturates) fail the range test and
+// take the math.Round path, preserving its behavior everywhere.
+// TestQuantizeMatchesMathRound pins the equivalence on the boundary
+// values.
 func Quantize(x, binSize float64) int64 {
-	return int64(math.Round(x / binSize))
+	r := x / binSize
+	if r < 1<<52 && r > -(1<<52) {
+		q := int64(r)
+		f := r - float64(q)
+		return q + int64(f+f)
+	}
+	// |r| >= 2^52, ±Inf or NaN. Every finite double of magnitude >= 2^52
+	// is integral, so rounding is the identity there; for ±Inf and NaN
+	// math.Round returns its argument unchanged. Either way
+	// int64(math.Round(r)) == int64(r) bit for bit, including the
+	// implementation-defined saturation of out-of-range conversions,
+	// which sees the identical input value on both routes.
+	return int64(r)
 }
 
 // Dequantize reconstructs the value represented by quantum q.

@@ -1,0 +1,68 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantizeRef is the pre-optimization definition: round half away from
+// zero via math.Round.
+func quantizeRef(x, binSize float64) int64 {
+	return int64(math.Round(x / binSize))
+}
+
+// TestQuantizeMatchesMathRound pins the fast-round path to math.Round
+// on the values where a cheaper rounding scheme would diverge: exact
+// halves, the largest double below 0.5, quotients at the 2^52 exactness
+// boundary, negatives of all of those, and bulk random input.
+func TestQuantizeMatchesMathRound(t *testing.T) {
+	boundary := []float64{
+		0, math.Copysign(0, -1),
+		0.5, -0.5, 1.5, -1.5, 2.5, -2.5,
+		0.49999999999999994, -0.49999999999999994, // largest |x| < 0.5
+		0.5000000000000001, -0.5000000000000001,
+		1<<52 - 1.5, -(1<<52 - 1.5), 1<<52 - 0.5, 1 << 52, -(1 << 52),
+		1<<52 + 1, 1 << 53, 1e300, -1e300,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		5e-324, -5e-324, 1e-310, math.MaxFloat64,
+	}
+	for _, r := range boundary {
+		// binSize 1 exposes the rounding itself.
+		if got, want := Quantize(r, 1), quantizeRef(r, 1); got != want {
+			t.Errorf("Quantize(%g, 1) = %d, math.Round path = %d", r, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200000; trial++ {
+		x := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+		bin := math.Pow(10, float64(rng.Intn(28)-14))
+		if got, want := Quantize(x, bin), quantizeRef(x, bin); got != want {
+			t.Fatalf("Quantize(%g, %g) = %d, math.Round path = %d", x, bin, got, want)
+		}
+		// Exact half-quotients: x = (k + 0.5) * bin for power-of-two bins
+		// divides back to an exact .5 fraction.
+		k := float64(rng.Int63n(1 << 40))
+		p2 := math.Ldexp(1, rng.Intn(20)-10)
+		x = (k + 0.5) * p2
+		if got, want := Quantize(x, p2), quantizeRef(x, p2); got != want {
+			t.Fatalf("half case: Quantize(%g, %g) = %d, math.Round path = %d", x, p2, got, want)
+		}
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	xs := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(5))
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.5) * 1e-6
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			sink += Quantize(x, 2e-10)
+		}
+	}
+	_ = sink
+}

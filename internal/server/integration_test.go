@@ -337,3 +337,60 @@ func TestIntegrationGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("serve: %v", err)
 	}
 }
+
+// The daemon serves from the fused compression path (the library
+// default). This test pins that end to end: the segment the service
+// stores for an upload must be byte-identical to the staged reference
+// path's stream over the same blocks — the fused/staged identity
+// observed through the full HTTP ingest stack, under the race detector
+// in CI's serve-test job.
+func TestIntegrationFusedMatchesStagedSegment(t *testing.T) {
+	for _, gc := range loadGoldenServeCases(t) {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			cfg := testConfig(t, gc.cfg, 4)
+			srv, err := New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			upload(t, ts, "it", "fused", gc.raw)
+			seg := findSegment(t, cfg.StoreDir)
+			ts.Close()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Staged oracle: the same blocks through a serial StreamWriter
+			// with the fused path disabled.
+			data := make([]float64, len(gc.raw)/8)
+			for i := range data {
+				var bits uint64
+				for b := 0; b < 8; b++ {
+					bits |= uint64(gc.raw[i*8+b]) << (8 * b)
+				}
+				data[i] = math.Float64frombits(bits)
+			}
+			sCfg := gc.cfg
+			sCfg.DisableFused = true
+			var ref bytes.Buffer
+			sw, err := core.NewStreamWriter(&ref, sCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := sCfg.BlockSize()
+			for b := 0; b*bs < len(data); b++ {
+				if err := sw.WriteBlock(data[b*bs : (b+1)*bs]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seg, ref.Bytes()) {
+				t.Fatalf("stored segment (fused service path) differs from staged reference stream (%d vs %d bytes)",
+					len(seg), ref.Len())
+			}
+		})
+	}
+}
