@@ -162,14 +162,18 @@ cover:
 # cache correctness, the HTTP integration tests (golden fixtures at
 # worker counts 1/4/7, wire-protocol goldens, span-tree parentage) and
 # the client-fleet smoke, all under the race detector — then a
-# pastrid-bench fleet run whose report, Prometheus scrape, and Chrome
-# trace export CI uploads as artifacts. The bench exits nonzero on any
-# correctness failure or on a p99-worst read whose trace tail sampling
-# failed to retain.
+# pastrid-bench fleet run whose report, Prometheus scrape, Chrome
+# trace export, ops dump, probe transcript (/healthz, /readyz,
+# /debug/slo), and rendered ops report CI uploads as artifacts. The
+# bench exits nonzero on any correctness failure, on a p99-worst read
+# whose trace tail sampling failed to retain, or on an SLO evaluation
+# that fails to cover every fleet tenant.
 serve-test:
-	$(GO) test -race -count=1 ./internal/store ./internal/blockcache ./internal/server ./internal/server/loadtest
+	$(GO) test -race -count=1 ./internal/store ./internal/blockcache ./internal/server ./internal/server/loadtest ./internal/opsreport
 	$(GO) run ./cmd/pastrid-bench -writers 8 -readers 24 -reads 60 -blocks 12 \
-		-out bench_serve_smoke.json -metricsout pastrid_scrape.txt -traceout pastrid_traces.json
+		-out bench_serve_smoke.json -metricsout pastrid_scrape.txt -traceout pastrid_traces.json \
+		-opsout pastrid_ops.json -probesout pastrid_probes.txt
+	$(GO) run ./cmd/pastrid report -file pastrid_ops.json -out pastrid_report.txt
 
 # cover-serve: combined statement coverage of the serving stack
 # (internal/server + internal/store + internal/blockcache); fails below
@@ -189,4 +193,4 @@ verify: build test vet lint lint-selftest race fuzz-smoke bench-smoke bench-gate
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_baseline.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrid_traces.json pastrilint.sarif
+	rm -rf internal/*/testdata/fuzz internal/analysis/flow/testdata/fuzz cover.out cover_serve.out bench_current.txt bench_baseline.txt bench_gate.txt bench_gate.json bench_serve_smoke.json pastrid_scrape.txt pastrid_traces.json pastrid_ops.json pastrid_probes.txt pastrid_report.txt pastrilint.sarif

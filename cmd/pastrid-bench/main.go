@@ -1,12 +1,13 @@
 // Command pastrid-bench runs the synthetic client fleet against an
 // in-process pastrid instance and writes the latency/correctness
-// report consumed by the PR 8 acceptance gate.
+// report consumed by the PR 10 acceptance gate.
 //
 // Usage:
 //
-//	pastrid-bench -writers 50 -readers 200 -out BENCH_PR8.json
+//	pastrid-bench -writers 50 -readers 200 -out BENCH_PR10.json
 //	pastrid-bench -writers 4 -readers 8 -reads 50 -out - # smoke, stdout
 //	pastrid-bench -traceout traces.json                  # Perfetto export
+//	pastrid-bench -opsout ops.json                       # pastrid report -file
 //
 // The fleet uploads deterministic ERI-shaped streams (N concurrent
 // writers), then hammers random-access block reads (M concurrent
@@ -16,7 +17,11 @@
 // (which must be zero), and a tracing section: the server runs with a
 // keep-everything tail sampler (keep_fraction 1, ring sized to the
 // fleet), so the slowest 1% of reads must all have their traces in the
-// /debug/traces export — a missing one fails the run.
+// /debug/traces export — a missing one fails the run. The fleet also
+// asserts the embedded SLO evaluation: /debug/slo must cover every
+// fleet tenant with the full objective set, and the report's slo
+// section records the verdicts. -opsout saves the {slo, history,
+// profiles} dump that `pastrid report -file` renders offline.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/opsreport"
 	"repro/internal/server"
 	"repro/internal/server/loadtest"
 )
@@ -52,9 +58,11 @@ func run() int {
 		workers    = flag.Int("workers", 0, "server compression workers (0 = GOMAXPROCS)")
 		cacheBytes = flag.Int64("cachebytes", 256<<10, "decoded-block cache capacity")
 		seed       = flag.Uint64("seed", 1, "fleet data/access seed")
-		outPath    = flag.String("out", "BENCH_PR8.json", `report path ("-" = stdout)`)
+		outPath    = flag.String("out", "BENCH_PR10.json", `report path ("-" = stdout)`)
 		scrapePath = flag.String("metricsout", "", "also write a final Prometheus scrape to this path")
 		tracePath  = flag.String("traceout", "", "also write the Chrome trace-event export to this path")
+		opsPath    = flag.String("opsout", "", "also write the ops dump (slo + history + profiles) to this path")
+		probesPath = flag.String("probesout", "", "also write a /healthz + /readyz + /debug/slo probe transcript to this path")
 	)
 	flag.Parse()
 
@@ -91,6 +99,10 @@ func run() int {
 		KeepFraction: 1,
 		RingDepth:    fleet.Writers*fleet.StreamsPerWriter + fleet.Readers*fleet.ReadsPerReader + 16,
 	}
+	// Assert the SLO evaluation covers the fleet, and sample fast enough
+	// that the ops dump's history ring catches the run in flight.
+	fleet.SLOAssert = true
+	scfg.SLO.SampleIntervalMS = 250
 	scfg.Tenants = make(map[string]server.TenantConfig, len(fleet.Tenants))
 	for _, tn := range fleet.Tenants {
 		scfg.Tenants[tn] = server.TenantConfig{}
@@ -139,6 +151,18 @@ func run() int {
 			return 1
 		}
 	}
+	if *opsPath != "" {
+		if err := writeOpsDump(srv, client, baseURL, *opsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid-bench: opsout:", err)
+			return 1
+		}
+	}
+	if *probesPath != "" {
+		if err := writeProbes(client, baseURL, *probesPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid-bench: probesout:", err)
+			return 1
+		}
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -180,12 +204,63 @@ func run() int {
 			"pastrid-bench: traces: %d retained, %d span events, worst reads retained %d/%d\n",
 			rep.RetainedTraces, rep.SpanEvents, rep.WorstRetained, rep.WorstReads)
 	}
+	if rep := res.SLO; rep != nil {
+		fmt.Fprintf(os.Stderr, "pastrid-bench: slo: worst state %s across %d tenants\n",
+			rep.WorstState, len(rep.Tenants))
+	}
 	if res.CorrectnessFailures != 0 || res.UploadFailures != 0 || res.ReadFailures != 0 ||
-		res.TraceAssertFailures != 0 {
+		res.TraceAssertFailures != 0 || res.SLOAssertFailures != 0 {
 		fmt.Fprintln(os.Stderr, "pastrid-bench: FAILURES:", res.FirstError)
 		return 1
 	}
 	return 0
+}
+
+// writeOpsDump saves the {slo, history, profiles} snapshot that
+// `pastrid report -file` renders offline.
+func writeOpsDump(srv *server.Server, client *http.Client, baseURL, path string) error {
+	d, err := opsreport.Fetch(client, baseURL)
+	if err != nil {
+		return err
+	}
+	d.Profiles = srv.ProfileEntries()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close() //lint:errdrop-ok already failing; the write error wins
+		return err
+	}
+	return f.Close()
+}
+
+// writeProbes records the operational probe surfaces — liveness,
+// readiness, and the SLO evaluation — as a CI artifact: each request
+// line followed by its status and body.
+func writeProbes(client *http.Client, baseURL, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, p := range []string{"/healthz", "/readyz", "/debug/slo"} {
+		resp, err := client.Get(baseURL + p)
+		if err != nil {
+			f.Close() //lint:errdrop-ok already failing; the probe error wins
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+		if err != nil {
+			f.Close() //lint:errdrop-ok already failing; the read error wins
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if _, err := fmt.Fprintf(f, "GET %s -> %d\n%s\n", p, resp.StatusCode, body); err != nil {
+			f.Close() //lint:errdrop-ok already failing; the write error wins
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // writeTraces dumps the server's retained-trace ring as Chrome

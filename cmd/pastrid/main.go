@@ -15,6 +15,13 @@
 // closed set of tenants with their error bounds and quotas. SIGINT or
 // SIGTERM triggers a graceful shutdown that drains in-flight uploads —
 // including compressions mid-stream — before closing the store.
+//
+// The report subcommand renders a plain-text ops report — SLO burn
+// verdicts, dominant pipeline stage, cache trend, anomaly timeline —
+// from a live daemon or a saved dump:
+//
+//	pastrid report -addr http://127.0.0.1:8080
+//	pastrid report -file ops.json -out report.txt
 package main
 
 import (
@@ -22,17 +29,93 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/opsreport"
 	"repro/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		os.Exit(runReport(os.Args[2:]))
+	}
 	os.Exit(run())
+}
+
+// runReport implements "pastrid report": fetch (or load) an ops dump
+// and render it as plain text.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("pastrid report", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "", "base URL of a live daemon (e.g. http://127.0.0.1:8080)")
+		file     = fs.String("file", "", "path to a saved ops dump (JSON) instead of a live daemon")
+		outPath  = fs.String("out", "", "write the report here instead of stdout")
+		dumpPath = fs.String("dump", "", "also save the raw ops dump (JSON) here")
+	)
+	fs.Parse(args) //lint:errdrop-ok ExitOnError FlagSet exits on parse failure
+
+	var (
+		d   opsreport.Dump
+		err error
+	)
+	switch {
+	case *addr != "" && *file != "":
+		fmt.Fprintln(os.Stderr, "pastrid report: -addr and -file are mutually exclusive")
+		return 2
+	case *addr != "":
+		d, err = opsreport.Fetch(http.DefaultClient, *addr)
+	case *file != "":
+		var f *os.File
+		if f, err = os.Open(*file); err == nil {
+			d, err = opsreport.Load(f)
+			f.Close() //lint:errdrop-ok read-only handle fully consumed
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pastrid report: one of -addr or -file is required")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid report:", err)
+		return 1
+	}
+
+	if *dumpPath != "" {
+		if err := writeFileWith(*dumpPath, d.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "pastrid report:", err)
+			return 1
+		}
+	}
+	render := func(w io.Writer) error { return opsreport.Render(w, d) }
+	if *outPath != "" {
+		err = writeFileWith(*outPath, render)
+	} else {
+		err = render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastrid report:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeFileWith creates path and streams fn's output into it,
+// preferring the write error over the close error.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close() //lint:errdrop-ok already failing; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 func run() int {

@@ -84,6 +84,7 @@ func All() []*Analyzer {
 		TelemetryDrop,
 		SlogKey,
 		SpanEnd,
+		SloConst,
 	}
 }
 

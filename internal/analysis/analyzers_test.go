@@ -40,6 +40,10 @@ func TestSpanEnd(t *testing.T) {
 	runFixture(t, SpanEnd, "spanend", fixtureModPath+"/internal/fixtures")
 }
 
+func TestSloConst(t *testing.T) {
+	runFixture(t, SloConst, "sloconst", fixtureModPath+"/internal/fixtures")
+}
+
 func TestHotAlloc2(t *testing.T) {
 	runModuleFixture(t, HotAlloc2, "hotalloc2", fixtureModPath+"/internal/fixtures")
 }

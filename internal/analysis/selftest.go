@@ -35,6 +35,7 @@ func Selftest(modRoot string) ([]Finding, error) {
 		{"telemetrydrop", fixtureMod + "/internal/fixtures", []string{"telemetrydrop"}},
 		{"slogkey", fixtureMod + "/internal/fixtures", []string{"slogkey"}},
 		{"spanend", fixtureMod + "/internal/fixtures", []string{"spanend"}},
+		{"sloconst", fixtureMod + "/internal/fixtures", []string{"sloconst"}},
 		{"hotalloc2", fixtureMod + "/internal/fixtures", []string{"hotalloc2"}},
 		{"detlint", fixtureMod + "/internal/fixtures", []string{"detlint"}},
 		{"atomicmix", fixtureMod + "/internal/fixtures", []string{"atomicmix"}},

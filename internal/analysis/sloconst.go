@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// SloConst enforces the observability naming registry: series keys,
+// SLO objectives, metric families and burn states are typed strings
+// (tsdb.Key, slo.Objective, slo.MetricName, slo.State) whose values
+// live in central const blocks. The SLO engine, the history ring, the
+// Prometheus exposition and the ops-report renderer all join on these
+// names, so an ad-hoc literal at a call site ("read_latency" typed
+// inline, or tsdb.Key("requests_total")) forks the namespace exactly
+// like an unregistered slog key would — it compiles, scrapes, and then
+// silently never matches the dashboard query. Two invariants:
+//
+//   - declared constants of those types must be lowercase_snake, the
+//     shape every joining surface expects;
+//   - call sites must pass the named constants, not string literals,
+//     conversions of literals, or local untyped-string constants —
+//     composite keys go through the registry's own builders
+//     (tsdb.ForTenant, tsdb.StageNS), which take runtime strings.
+//
+// Types are matched structurally by name (a named string type called
+// Key, Objective, MetricName or State), so fixtures and future
+// registries are covered without importing the telemetry packages.
+// Deliberate exceptions carry //lint:sloconst-ok.
+var SloConst = &Analyzer{
+	Name: "sloconst",
+	Doc:  "observability name constants must be lowercase_snake and referenced, never inlined",
+	Run:  runSloConst,
+}
+
+var sloConstRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// sloConstTypeNames are the registry type names the analyzer guards.
+var sloConstTypeNames = map[string]bool{
+	"Key": true, "Objective": true, "MetricName": true, "State": true,
+}
+
+// isSLOConstType reports whether t is a named string type carrying one
+// of the registry type names.
+func isSLOConstType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || !sloConstTypeNames[named.Obj().Name()] {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+func runSloConst(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				p.checkSLOConstDecl(n)
+			case *ast.CallExpr:
+				p.checkSLOConstCall(n)
+			case *ast.BinaryExpr:
+				p.checkSLOConstCompare(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSLOConstDecl verifies declared registry constants are
+// lowercase_snake.
+func (p *Pass) checkSLOConstDecl(decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			c, ok := p.TypesInfo.Defs[name].(*types.Const)
+			if !ok || !isSLOConstType(c.Type()) || c.Val().Kind() != constant.String {
+				continue
+			}
+			if v := constant.StringVal(c.Val()); !sloConstRe.MatchString(v) {
+				p.Reportf(name.Pos(),
+					"%s constant %s value %q is not lowercase_snake (want %s); every surface joining on this name expects that shape",
+					typeShortName(c.Type()), name.Name, v, sloConstRe)
+			}
+		}
+	}
+}
+
+// checkSLOConstCall flags registry-typed arguments that are inlined
+// strings rather than references to the named constants, and explicit
+// conversions of constant strings to registry types.
+func (p *Pass) checkSLOConstCall(call *ast.CallExpr) {
+	// T("literal") conversions anywhere mint an unregistered name.
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && isSLOConstType(tv.Type) {
+		if len(call.Args) == 1 {
+			if av, ok := p.TypesInfo.Types[call.Args[0]]; ok && av.Value != nil {
+				p.Reportf(call.Pos(),
+					"conversion of constant string to %s mints an unregistered name; declare it in the registry const block",
+					typeShortName(tv.Type))
+			}
+		}
+		return
+	}
+	sig, ok := p.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt, ok := paramTypeAt(sig, i, len(call.Args), call.Ellipsis.IsValid())
+		if !ok || !isSLOConstType(pt) {
+			continue
+		}
+		p.checkSLOConstValue(arg, pt)
+	}
+}
+
+// paramTypeAt resolves the declared type of argument i, unrolling the
+// variadic tail (a `...` call spreads a slice and is left alone).
+func paramTypeAt(sig *types.Signature, i, nargs int, ellipsis bool) (types.Type, bool) {
+	params := sig.Params()
+	if sig.Variadic() {
+		if i < params.Len()-1 {
+			return params.At(i).Type(), true
+		}
+		if ellipsis {
+			return nil, false
+		}
+		slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+		if !ok {
+			return nil, false
+		}
+		return slice.Elem(), true
+	}
+	if i >= params.Len() {
+		return nil, false
+	}
+	return params.At(i).Type(), true
+}
+
+// checkSLOConstValue flags expr when it supplies a registry-typed slot
+// with anything constant that is not a reference to a constant
+// declared with the registry type itself.
+func (p *Pass) checkSLOConstValue(expr ast.Expr, want types.Type) {
+	e := ast.Unparen(expr)
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // runtime values flow through the registry's builders
+	}
+	if constant.StringVal(tv.Value) == "" {
+		return // the empty string is the universal "unset" sentinel, not a name
+	}
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		if id, ok := e.(*ast.Ident); ok {
+			obj = p.TypesInfo.Uses[id]
+		} else {
+			obj = p.TypesInfo.Uses[e.(*ast.SelectorExpr).Sel]
+		}
+		if c, ok := obj.(*types.Const); ok && isSLOConstType(c.Type()) {
+			return // the named registry constant: the one allowed shape
+		}
+		p.Reportf(expr.Pos(),
+			"%s argument is a string constant declared outside the registry; use the registry's named constant",
+			typeShortName(want))
+	case *ast.CallExpr:
+		if tv, ok := p.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return // a constant conversion: the conversion rule reports it once
+		}
+		p.Reportf(expr.Pos(),
+			"%s argument is an inline string %s; use the registry's named constant so the name stays greppable",
+			typeShortName(want), constant.StringVal(tv.Value))
+	default:
+		p.Reportf(expr.Pos(),
+			"%s argument is an inline string %s; use the registry's named constant so the name stays greppable",
+			typeShortName(want), constant.StringVal(tv.Value))
+	}
+}
+
+// checkSLOConstCompare flags `x == "literal"` where x is registry
+// typed: state machines must compare against the named constants.
+func (p *Pass) checkSLOConstCompare(b *ast.BinaryExpr) {
+	if b.Op.String() != "==" && b.Op.String() != "!=" {
+		return
+	}
+	check := func(typed, other ast.Expr) {
+		tt, ok := p.TypesInfo.Types[typed]
+		if !ok || tt.Value != nil || !isSLOConstType(tt.Type) {
+			return // only non-constant registry-typed operands anchor the check
+		}
+		p.checkSLOConstValue(other, tt.Type)
+	}
+	check(b.X, b.Y)
+	check(b.Y, b.X)
+}
+
+// typeShortName renders a named type as pkg.Name for diagnostics.
+func typeShortName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

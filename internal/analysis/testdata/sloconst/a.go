@@ -1,0 +1,80 @@
+package fixtures
+
+// A miniature observability registry mirroring the shapes in
+// internal/telemetry: named string types for series keys, SLO
+// objectives, metric families and burn states.
+
+type Key string
+
+type Objective string
+
+type MetricName string
+
+type State string
+
+const (
+	KeyReadsTotal Key        = "reads_total"
+	KeyBadCase    Key        = "ReadsTotal"  // want "Key constant KeyBadCase value \\\"ReadsTotal\\\" is not lowercase_snake"
+	KeyBadDash    Key        = "reads-total" // want "Key constant KeyBadDash value \\\"reads-total\\\" is not lowercase_snake"
+	ReadLatency   Objective  = "read_latency"
+	BadObjective  Objective  = "Read Latency" // want "Objective constant BadObjective value \\\"Read Latency\\\" is not lowercase_snake"
+	MetricState   MetricName = "pastrid_slo_state"
+	StateOK       State      = "ok"
+	StateFastBurn State      = "fast_burn"
+)
+
+// ForTenant is the registry's composite-key builder: conversions of
+// runtime strings are the sanctioned path.
+func ForTenant(tenant string, k Key) Key {
+	return Key("tenant." + tenant + "." + string(k))
+}
+
+func get(k Key) float64          { return 0 }
+func eval(o Objective) State     { return StateOK }
+func family(m MetricName) string { return string(m) }
+func record(ks ...Key) int       { return len(ks) }
+
+// Clean call sites: named constants, runtime values, builders.
+
+func goodCalls(tenant string, dynamic Key) {
+	get(KeyReadsTotal)
+	get(ForTenant(tenant, KeyReadsTotal))
+	get(dynamic)
+	eval(ReadLatency)
+	family(MetricState)
+	record(KeyReadsTotal, dynamic)
+}
+
+// True positives: inline literals, conversions, off-registry consts.
+
+const looseName = "reads_total" // untyped string, not a registry constant
+
+func badCalls() {
+	get("reads_total")            // want "Key argument is an inline string"
+	eval("read_latency")          // want "Objective argument is an inline string"
+	family("pastrid_slo_state")   // want "MetricName argument is an inline string"
+	record(KeyReadsTotal, "x_y")  // want "Key argument is an inline string"
+	get(Key("reads_total"))       // want "conversion of constant string to fixtures.Key mints an unregistered name"
+	get(looseName)                // want "Key argument is a string constant declared outside the registry"
+	_ = Objective("cache_warmth") // want "conversion of constant string to fixtures.Objective mints an unregistered name"
+}
+
+// Comparisons must join on the named constants too.
+
+func badCompare(s State, k Key) bool {
+	if s == "fast_burn" { // want "State argument is an inline string"
+		return true
+	}
+	if "ok" != s { // want "State argument is an inline string"
+		return true
+	}
+	return k == "" // clean: the empty string is the unset sentinel, not a name
+}
+
+func goodCompare(s State) bool { return s == StateFastBurn }
+
+// Clean: suppressed deliberate exception.
+
+func suppressed() float64 {
+	return get("legacy.dotted.name") //lint:sloconst-ok mirrors a pre-registry wire field verbatim
+}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math"
@@ -79,6 +80,13 @@ type Config struct {
 	// span) costs one untaken branch per instrumentation point. It may
 	// be shared across workers — spans are safe for concurrent children.
 	Trace *trace.Span
+	// ProfileCtx, when non-nil, is the context whose pprof goroutine
+	// labels (pastrid sets tenant and route) the pipeline's goroutines
+	// run under, with a "stage" label added per pipeline role — so CPU
+	// profiles attribute samples to tenant × route × stage. Runtime-only
+	// state like the fields above; the nil default runs every goroutine
+	// unlabeled with zero overhead.
+	ProfileCtx context.Context
 }
 
 // Defaults returns the paper's shipped configuration for a block geometry

@@ -93,33 +93,36 @@ func compressPayloads(data []float64, cfg Config, workers int, stats *Stats) ([]
 		//lint:hotalloc2-ok one worker closure per goroutine at stream start, not per block
 		go func() {
 			defer wg.Done()
-			enc := getEncoder(cfg)
-			defer putEncoder(enc)
-			var local *Stats
-			if stats != nil {
-				local = NewStats()
-				enc.CollectStats(local)
-			}
-			w := bitio.NewWriter(bs)
-			for b := range next {
-				w.Reset()
-				if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
+			//lint:hotalloc2-ok one label closure per worker, not per block
+			withStageLabel(cfg.ProfileCtx, profStageEncode, func() {
+				enc := getEncoder(cfg)
+				defer putEncoder(enc)
+				var local *Stats
+				if stats != nil {
+					local = NewStats()
+					enc.CollectStats(local)
 				}
-				p := getPayload()
-				*p = append((*p)[:0], w.Bytes()...) //lint:hotalloc-ok pooled buffer: append is in place once warm
-				payloads[b] = p
-			}
-			if local != nil {
-				mu.Lock()
-				stats.Merge(local)
-				mu.Unlock()
-			}
+				w := bitio.NewWriter(bs)
+				for b := range next {
+					w.Reset()
+					if err := enc.EncodeBlock(w, data[b*bs:(b+1)*bs]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					p := getPayload()
+					*p = append((*p)[:0], w.Bytes()...) //lint:hotalloc-ok pooled buffer: append is in place once warm
+					payloads[b] = p
+				}
+				if local != nil {
+					mu.Lock()
+					stats.Merge(local)
+					mu.Unlock()
+				}
+			})
 		}()
 	}
 	wg.Wait()
@@ -242,6 +245,12 @@ func (s *ParallelStreamWriter) start() {
 
 func (s *ParallelStreamWriter) worker(local *Stats) {
 	defer s.wg.Done()
+	// One label scope per worker lifetime, not per block: CPU samples in
+	// the whole encode loop are attributed to tenant×route×stage=encode.
+	withStageLabel(s.cfg.ProfileCtx, profStageEncode, func() { s.encodeLoop(local) })
+}
+
+func (s *ParallelStreamWriter) encodeLoop(local *Stats) {
 	enc := getEncoder(s.cfg)
 	defer putEncoder(enc)
 	enc.CollectStats(local)
@@ -279,8 +288,12 @@ var errAborted = fmt.Errorf("core: block skipped after earlier error")
 // can't keep the sequencer fed" from "the sink is slow".
 func (s *ParallelStreamWriter) sequencer() {
 	defer close(s.seqDone)
+	withStageLabel(s.cfg.ProfileCtx, profStageSequencer, s.sequence)
+}
+
+func (s *ParallelStreamWriter) sequence() {
 	col := s.cfg.Collector
-	pending := make(map[uint64]pswResult)
+	pending := make(map[uint64]pswResult) //lint:hotalloc2-ok one map per stream, not per block; sequence runs once per writer
 	var nextSeq uint64
 	var lenBuf [binary.MaxVarintLen64]byte
 	dead := false

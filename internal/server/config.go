@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/telemetry/profring"
+	"repro/internal/telemetry/slo"
 	"repro/internal/telemetry/trace"
 )
 
@@ -29,6 +31,59 @@ type TenantConfig struct {
 	// the tenant's requests, a negative value disables sampling for the
 	// tenant entirely, and zero inherits trace.sample_rate.
 	TraceSampleRate float64 `json:"trace_sample_rate"`
+	// SLO overrides the daemon-wide SLO objectives for this tenant;
+	// zero fields inherit the slo section's defaults.
+	SLO TenantSLOConfig `json:"slo"`
+}
+
+// TenantSLOConfig is one tenant's SLO objective overrides. It mirrors
+// slo.TenantObjectives: latency thresholds in milliseconds and target
+// good fractions per objective.
+type TenantSLOConfig struct {
+	ReadP99MS        float64 `json:"read_p99_ms"`
+	UploadP99MS      float64 `json:"upload_p99_ms"`
+	LatencyObjective float64 `json:"latency_objective"`
+	ErrorObjective   float64 `json:"error_objective"`
+	EBObjective      float64 `json:"eb_objective"`
+}
+
+// SLOConfig tunes the SLO burn-rate engine and the embedded metrics
+// history ring behind /debug/slo and /debug/history. Evaluation is
+// always available on demand; the sampler that feeds the history ring
+// (and force-captures profiles on fast burn) runs only when
+// sample_interval_ms >= 0.
+type SLOConfig struct {
+	// SampleIntervalMS is the history sampler period; 0 means 15000,
+	// negative disables the background sampler (on-demand /debug/slo
+	// evaluation then sees lifetime totals only).
+	SampleIntervalMS int `json:"sample_interval_ms"`
+	// FastWindowMS / SlowWindowMS are the burn-rate windows
+	// (0 = 5m / 1h). An objective alarms only when BOTH windows burn.
+	FastWindowMS int `json:"fast_window_ms"`
+	SlowWindowMS int `json:"slow_window_ms"`
+	// FastBurn / SlowBurn are the burn-rate alarm thresholds
+	// (0 = 14.4 / 6, the Google SRE multiwindow defaults).
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// HistoryDepth bounds the metrics history ring (0 = 512 samples).
+	HistoryDepth int `json:"history_depth"`
+	// Default objectives for tenants without overrides; zero fields
+	// take the engine defaults (50ms read, 1s upload, 0.99 latency,
+	// 0.999 error, 0.99999 eb).
+	Default TenantSLOConfig `json:"default"`
+}
+
+// ProfileConfig tunes the continuous-profiling ring. An empty dir
+// disables profiling.
+type ProfileConfig struct {
+	// Dir is the on-disk profile ring directory.
+	Dir string `json:"dir"`
+	// PeriodMS is the periodic capture interval (0 = 60000).
+	PeriodMS int `json:"period_ms"`
+	// CPUSampleMS is each CPU capture's sampling window (0 = 1000).
+	CPUSampleMS int `json:"cpu_sample_ms"`
+	// MaxProfiles bounds the ring (0 = 64 profile files).
+	MaxProfiles int `json:"max_profiles"`
 }
 
 // TraceConfig tunes request tracing (internal/telemetry/trace): head
@@ -78,6 +133,11 @@ type Config struct {
 	Tenants map[string]TenantConfig `json:"tenants"`
 	// Trace tunes request tracing and tail sampling.
 	Trace TraceConfig `json:"trace"`
+	// SLO tunes the burn-rate engine and metrics history ring.
+	SLO SLOConfig `json:"slo"`
+	// Profile tunes the continuous-profiling ring (disabled unless
+	// profile.dir is set).
+	Profile ProfileConfig `json:"profile"`
 }
 
 // DefaultConfig returns the baked-in defaults: the paper's 4×9 ERI
@@ -169,7 +229,70 @@ func (c Config) Validate() error {
 	if c.Trace.MaxSpansPerTrace < 0 {
 		return fmt.Errorf("server: config: negative trace.max_spans_per_trace")
 	}
+	if c.SLO.FastWindowMS < 0 || c.SLO.SlowWindowMS < 0 {
+		return fmt.Errorf("server: config: negative slo window")
+	}
+	if c.SLO.FastBurn < 0 || c.SLO.SlowBurn < 0 {
+		return fmt.Errorf("server: config: negative slo burn threshold")
+	}
+	if c.SLO.HistoryDepth < 0 {
+		return fmt.Errorf("server: config: negative slo.history_depth")
+	}
+	if c.Profile.PeriodMS < 0 || c.Profile.CPUSampleMS < 0 || c.Profile.MaxProfiles < 0 {
+		return fmt.Errorf("server: config: negative profile setting")
+	}
 	return nil
+}
+
+// sampleInterval resolves the history sampler period: 0 means the
+// 15 s default, negative disables the sampler.
+func (c Config) sampleInterval() time.Duration {
+	switch {
+	case c.SLO.SampleIntervalMS < 0:
+		return 0
+	case c.SLO.SampleIntervalMS == 0:
+		return 15 * time.Second
+	default:
+		return time.Duration(c.SLO.SampleIntervalMS) * time.Millisecond
+	}
+}
+
+// sloObjectives lowers a JSON objective section into the engine's
+// shape.
+func sloObjectives(t TenantSLOConfig) slo.TenantObjectives {
+	return slo.TenantObjectives{
+		ReadP99MS:        t.ReadP99MS,
+		UploadP99MS:      t.UploadP99MS,
+		LatencyObjective: t.LatencyObjective,
+		ErrorObjective:   t.ErrorObjective,
+		EBObjective:      t.EBObjective,
+	}
+}
+
+// sloEngineConfig lowers the JSON slo section into the engine Config.
+func (c Config) sloEngineConfig() slo.Config {
+	overrides := make(map[string]slo.TenantObjectives, len(c.Tenants))
+	for t, tc := range c.Tenants {
+		overrides[t] = sloObjectives(tc.SLO)
+	}
+	return slo.Config{
+		FastWindow:        time.Duration(c.SLO.FastWindowMS) * time.Millisecond,
+		SlowWindow:        time.Duration(c.SLO.SlowWindowMS) * time.Millisecond,
+		FastBurnThreshold: c.SLO.FastBurn,
+		SlowBurnThreshold: c.SLO.SlowBurn,
+		Default:           sloObjectives(c.SLO.Default),
+		Tenants:           overrides,
+	}
+}
+
+// profileConfig lowers the JSON profile section into profring's Config.
+func (c Config) profileConfig() profring.Config {
+	return profring.Config{
+		Dir:         c.Profile.Dir,
+		MaxProfiles: c.Profile.MaxProfiles,
+		CPUDuration: time.Duration(c.Profile.CPUSampleMS) * time.Millisecond,
+		Period:      time.Duration(c.Profile.PeriodMS) * time.Millisecond,
+	}
 }
 
 // traceConfig lowers the JSON trace section into the tracer's Config.

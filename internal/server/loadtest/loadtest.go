@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/blockcache"
 	"repro/internal/core"
+	"repro/internal/telemetry/slo"
 	"repro/internal/telemetry/trace"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// fleet's request count — otherwise the random keep rule makes the
 	// check probabilistic.
 	TraceAssert bool `json:"trace_assert"`
+	// SLOAssert turns on the SLO acceptance check: after the read phase
+	// the fleet fetches the target's /debug/slo evaluation, embeds it in
+	// the Result, and requires every fleet tenant to be covered with the
+	// full objective set.
+	SLOAssert bool `json:"slo_assert"`
 }
 
 // DefaultConfig is a smoke-sized fleet against the paper's 4×9
@@ -112,6 +118,7 @@ type Result struct {
 	ReadFailures        int               `json:"read_failures"`
 	CorrectnessFailures int               `json:"correctness_failures"`
 	TraceAssertFailures int               `json:"trace_assert_failures,omitempty"`
+	SLOAssertFailures   int               `json:"slo_assert_failures,omitempty"`
 	RawBytesUploaded    int64             `json:"raw_bytes_uploaded"`
 	StoredBytes         int64             `json:"stored_bytes"`
 	UploadLatency       LatencySummary    `json:"upload_latency"`
@@ -119,8 +126,12 @@ type Result struct {
 	Cache               *blockcache.Stats `json:"cache,omitempty"`
 	CacheHitRate        float64           `json:"cache_hit_rate"`
 	Trace               *TraceReport      `json:"trace,omitempty"`
-	ElapsedMS           int64             `json:"elapsed_ms"`
-	FirstError          string            `json:"first_error,omitempty"`
+	// SLO is the target's /debug/slo evaluation after the run (per-
+	// tenant burn-rate verdicts and measured p50/p99), recorded when
+	// SLOAssert is on.
+	SLO        *slo.Report `json:"slo,omitempty"`
+	ElapsedMS  int64       `json:"elapsed_ms"`
+	FirstError string      `json:"first_error,omitempty"`
 }
 
 // Target is the instance under test. CacheStats and TraceStats may be
@@ -264,6 +275,7 @@ type fleetErrs struct {
 	reads       atomic.Int64
 	correctness atomic.Int64
 	traceAssert atomic.Int64
+	sloAssert   atomic.Int64
 	mu          sync.Mutex
 	first       error
 }
@@ -403,6 +415,22 @@ func Run(cfg Config, tgt Target) (Result, error) {
 		}
 		res.TraceAssertFailures = int(errs.traceAssert.Load())
 	}
+	if cfg.SLOAssert {
+		rep, err := sloReport(client, tgt.BaseURL)
+		if err != nil {
+			errs.record(&errs.sloAssert, fmt.Errorf("slo report: %w", err))
+		} else {
+			res.SLO = rep
+			for _, tn := range cfg.Tenants {
+				if tr, ok := rep.Tenants[tn]; !ok || len(tr.Objectives) != len(slo.Objectives()) {
+					errs.record(&errs.sloAssert, fmt.Errorf(
+						"slo report covers tenant %q with %d objectives, want %d",
+						tn, len(tr.Objectives), len(slo.Objectives())))
+				}
+			}
+		}
+		res.SLOAssertFailures = int(errs.sloAssert.Load())
+	}
 	if errs.first != nil {
 		res.FirstError = errs.first.Error()
 	}
@@ -453,6 +481,23 @@ func traceReport(client *http.Client, tgt Target, samples *readSampler) (*TraceR
 		rep.Stats = &st
 	}
 	return rep, nil
+}
+
+// sloReport fetches the target's on-demand /debug/slo evaluation.
+func sloReport(client *http.Client, baseURL string) (*slo.Report, error) {
+	resp, err := client.Get(baseURL + "/debug/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //lint:errdrop-ok response body fully read; close error is unactionable
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/slo: status %d", resp.StatusCode)
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding /debug/slo: %w", err)
+	}
+	return &rep, nil
 }
 
 // compressLocal runs the serial compress→decompress oracle and returns

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/server"
+	"repro/internal/telemetry/slo"
 )
 
 // newFleetServer starts an in-process pastrid sized for the fleet.
@@ -119,6 +120,79 @@ func TestFleetTinyCache(t *testing.T) {
 	}
 	if res.Cache.Evictions == 0 {
 		t.Fatal("tiny cache never evicted; the churn path went unexercised")
+	}
+}
+
+// TestFleetSLOVerdicts runs the fleet with the SLO assertion on: the
+// embedded /debug/slo evaluation must cover every fleet tenant with
+// the full objective set, and the error-rate objective — fed only by
+// 5xx responses, of which a clean run has none — must verdict ok.
+func TestFleetSLOVerdicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SLOAssert = true
+	_, ts := newFleetServer(t, cfg, 64<<20)
+
+	res, err := Run(cfg, Target{BaseURL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOAssertFailures != 0 {
+		t.Fatalf("%d slo assert failures: %s", res.SLOAssertFailures, res.FirstError)
+	}
+	if res.SLO == nil {
+		t.Fatal("SLOAssert run embedded no report")
+	}
+	for _, tn := range cfg.Tenants {
+		st, ok := res.SLO.Find(tn, slo.ErrorRate)
+		if !ok {
+			t.Fatalf("report missing %s error_rate", tn)
+		}
+		if st.State != slo.StateOK || st.LifetimeBad != 0 {
+			t.Fatalf("%s error_rate: state=%s bad=%v after a clean run", tn, st.State, st.LifetimeBad)
+		}
+		tr := res.SLO.Tenants[tn]
+		if tr.Latency.ReadP99MS <= 0 {
+			t.Fatalf("%s measured read p99 = %v, want > 0 after %d reads", tn, tr.Latency.ReadP99MS, res.Reads)
+		}
+	}
+}
+
+// TestFleetSLOFastBurn gives one tenant an unmeetably tight read
+// threshold behind a two-block cache: every read misses the latency
+// target, the error budget burns at ~100×, and the /debug/slo verdict
+// must be fast_burn for that tenant's read objective — the end-to-end
+// proof the burn-rate alarm fires.
+func TestFleetSLOFastBurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Readers = 4
+	cfg.ReadsPerReader = 30
+	cfg.SLOAssert = true
+	blockBytes := int64(cfg.NumSB*cfg.SBSize) * 8
+	_, ts := newFleetServer(t, cfg, 2*blockBytes, func(sc *server.Config) {
+		// ~1ns read threshold: no real request can beat it.
+		sc.Tenants["fleet-a"] = server.TenantConfig{SLO: server.TenantSLOConfig{ReadP99MS: 1e-6}}
+	})
+
+	res, err := Run(cfg, Target{BaseURL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOAssertFailures != 0 {
+		t.Fatalf("%d slo assert failures: %s", res.SLOAssertFailures, res.FirstError)
+	}
+	st, ok := res.SLO.Find("fleet-a", slo.ReadLatency)
+	if !ok {
+		t.Fatal("report missing fleet-a read_latency")
+	}
+	if st.State != slo.StateFastBurn {
+		t.Fatalf("fleet-a read_latency state = %s (fast %.1f slow %.1f), want fast_burn",
+			st.State, st.FastBurn, st.SlowBurn)
+	}
+	if st.LifetimeBad != st.LifetimeGood+st.LifetimeBad {
+		t.Fatalf("every read should breach the 1ns threshold: good=%v bad=%v", st.LifetimeGood, st.LifetimeBad)
+	}
+	if res.SLO.WorstState != slo.StateFastBurn {
+		t.Fatalf("worst_state = %s, want fast_burn", res.SLO.WorstState)
 	}
 }
 

@@ -3,12 +3,14 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/slo"
 	"repro/internal/telemetry/trace"
 )
 
@@ -22,8 +24,23 @@ const (
 	routeDelete    = "delete"
 	routeMetrics   = "metrics"
 	routeHealthz   = "healthz"
+	routeReadyz    = "readyz"
 	routeTraces    = "debug_traces"
+	routeSLO       = "debug_slo"
+	routeHistory   = "debug_history"
 )
+
+// quietRoute reports whether a route is a scrape/probe/export surface:
+// never traced, never request-logged, and excluded from per-tenant SLO
+// accounting — a Prometheus scraper or readiness prober must not
+// perturb the signals it reads.
+func quietRoute(route string) bool {
+	switch route {
+	case routeMetrics, routeHealthz, routeReadyz, routeTraces, routeSLO, routeHistory:
+		return true
+	}
+	return false
+}
 
 // latencyBuckets are the fixed upper bounds (seconds) of the request
 // latency histogram. Fixed buckets keep the scrape shape stable across
@@ -63,26 +80,53 @@ func latencyBucket(sec float64) int {
 	return latencyBucketCount - 1 // +Inf
 }
 
+// tenantThresholds are one tenant's resolved slow-request cutoffs in
+// seconds, fixed at construction so the hot path compares two floats.
+type tenantThresholds struct {
+	readSec   float64
+	uploadSec float64
+}
+
+// tenantCounters are one tenant's SLO event counters plus read/upload
+// latency bucket counts (same bounds as the route histograms) for
+// quantile interpolation.
+type tenantCounters struct {
+	requests   uint64
+	errors     uint64 // 5xx responses
+	reads      uint64
+	readSlow   uint64
+	uploads    uint64
+	uploadSlow uint64
+	readHist   [latencyBucketCount]uint64
+	uploadHist [latencyBucketCount]uint64
+}
+
 // serverMetrics aggregates pastrid's request-level counters: requests
-// by route and status code, latency sums per route, and the in-flight
-// gauge. Mutex-guarded maps are fine here — the critical sections are
-// two map updates, dwarfed by the request work around them.
+// by route and status code, latency sums per route, the in-flight
+// gauge, and per-tenant SLO event counters. Mutex-guarded maps are
+// fine here — the critical sections are a few map updates, dwarfed by
+// the request work around them.
 type serverMetrics struct {
 	inflight atomic.Int64
+
+	thresholds map[string]tenantThresholds // fixed at startup; read-only
 
 	mu       sync.Mutex
 	requests map[string]map[int]uint64 // route → status → count
 	durNS    map[string]uint64         // route → total ns
 	durCount map[string]uint64
-	hists    map[string]*routeHist // route → latency histogram
+	hists    map[string]*routeHist      // route → latency histogram
+	tenants  map[string]*tenantCounters // tenant → SLO events
 }
 
-func newServerMetrics() *serverMetrics {
+func newServerMetrics(thresholds map[string]tenantThresholds) *serverMetrics {
 	return &serverMetrics{
-		requests: make(map[string]map[int]uint64),
-		durNS:    make(map[string]uint64),
-		durCount: make(map[string]uint64),
-		hists:    make(map[string]*routeHist),
+		thresholds: thresholds,
+		requests:   make(map[string]map[int]uint64),
+		durNS:      make(map[string]uint64),
+		durCount:   make(map[string]uint64),
+		hists:      make(map[string]*routeHist),
+		tenants:    make(map[string]*tenantCounters),
 	}
 }
 
@@ -90,7 +134,9 @@ func newServerMetrics() *serverMetrics {
 // the tracer: a request whose trace survived tail sampling stamps its
 // trace ID as the exemplar of the latency bucket it landed in, so the
 // exemplar always points at a trace that is actually in the ring.
-func (m *serverMetrics) observe(route string, status int, d time.Duration, traceID string, retained bool) {
+// tenant feeds the SLO event counters and is counted only for
+// configured tenants on non-quiet routes.
+func (m *serverMetrics) observe(route, tenant string, status int, d time.Duration, traceID string, retained bool) {
 	if d < 0 {
 		d = 0
 	}
@@ -119,7 +165,95 @@ func (m *serverMetrics) observe(route string, status int, d time.Duration, trace
 			tsUnix:  float64(time.Now().UnixNano()) / 1e9,
 		}
 	}
+	if th, ok := m.thresholds[tenant]; ok && !quietRoute(route) {
+		tc := m.tenants[tenant]
+		if tc == nil {
+			tc = &tenantCounters{}
+			m.tenants[tenant] = tc
+		}
+		tc.requests++
+		if status >= 500 {
+			tc.errors++
+		}
+		switch route {
+		case routeReadBlock:
+			tc.reads++
+			tc.readHist[bkt]++
+			if sec > th.readSec { //lint:floatcmp-ok ordered comparison against a threshold, not equality
+				tc.readSlow++
+			}
+		case routeUpload:
+			tc.uploads++
+			tc.uploadHist[bkt]++
+			if sec > th.uploadSec { //lint:floatcmp-ok ordered comparison against a threshold, not equality
+				tc.uploadSlow++
+			}
+		}
+	}
 	m.mu.Unlock()
+}
+
+// tenantSnapshot copies one tenant's counters (zero value when the
+// tenant has no traffic yet).
+func (m *serverMetrics) tenantSnapshot(tenant string) tenantCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tc := m.tenants[tenant]; tc != nil {
+		return *tc
+	}
+	return tenantCounters{}
+}
+
+// bucketQuantile interpolates quantile q from fixed-bucket counts,
+// returning seconds. Within a bucket the distribution is assumed
+// uniform (the standard Prometheus histogram_quantile estimate); the
+// +Inf bucket clamps to the last finite bound.
+func bucketQuantile(counts *[latencyBucketCount]uint64, q float64) float64 {
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, n := range counts {
+		prev := float64(cum)
+		cum += n
+		if float64(cum) >= rank {
+			if i >= len(latencyBuckets) {
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := latencyBuckets[i]
+			if n == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-prev)/float64(n)
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// tenantQuantiles interpolates every tenant's read/upload p50/p99 (in
+// milliseconds) for the SLO report.
+func (m *serverMetrics) tenantQuantiles() map[string]slo.Quantiles {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]slo.Quantiles, len(m.tenants))
+	for t, tc := range m.tenants {
+		out[t] = slo.Quantiles{
+			ReadP50MS:   bucketQuantile(&tc.readHist, 0.50) * 1000,
+			ReadP99MS:   bucketQuantile(&tc.readHist, 0.99) * 1000,
+			UploadP50MS: bucketQuantile(&tc.uploadHist, 0.50) * 1000,
+			UploadP99MS: bucketQuantile(&tc.uploadHist, 0.99) * 1000,
+		}
+	}
+	return out
 }
 
 // handleTraces serves the retained-trace ring as Chrome trace-event
@@ -253,11 +387,48 @@ func (s *Server) writePrometheus(w interface{ Write([]byte) (int, error) }) {
 		b.line(`pastrid_tenant_store_bytes{tenant=%q} %d`, t, s.st.Usage(t))
 	}
 
+	// Process identity: start time + uptime make rate() sane across
+	// restarts, and build_info pins what binary produced the scrape.
+	b.header("process_start_time_seconds", "Unix time the process started.", "gauge")
+	b.line("process_start_time_seconds %d", processStart.Unix())
+	b.header("pastrid_uptime_seconds", "Seconds since process start.", "gauge")
+	b.line("pastrid_uptime_seconds %g", time.Since(processStart).Seconds())
+	b.header("pastrid_build_info", "Build metadata; value is always 1.", "gauge")
+	b.line(`pastrid_build_info{version=%q,go_version=%q} 1`, Version, runtime.Version())
+
+	if s.profiles != nil {
+		ps := s.profiles.Stats()
+		b.header("pastrid_profile_captures_total", "Profiles captured into the profile ring.", "counter")
+		b.line("pastrid_profile_captures_total %d", ps.Captures)
+		b.header("pastrid_profile_skipped_total", "Profile captures skipped (CPU profiler busy or failed).", "counter")
+		b.line("pastrid_profile_skipped_total %d", ps.Skipped)
+		b.header("pastrid_profile_pruned_total", "Profiles pruned from the ring.", "counter")
+		b.line("pastrid_profile_pruned_total %d", ps.Pruned)
+		b.header("pastrid_profile_ring_entries", "Profiles resident in the ring.", "gauge")
+		b.line("pastrid_profile_ring_entries %d", ps.Entries)
+		b.header("pastrid_profile_ring_bytes", "Bytes of profiles resident in the ring.", "gauge")
+		b.line("pastrid_profile_ring_bytes %d", ps.Bytes)
+	}
+	b.header("pastrid_history_samples", "Samples resident in the metrics history ring.", "gauge")
+	b.line("pastrid_history_samples %d", s.history.Len())
+
 	w.Write(b.buf) //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
+
+	// The SLO families come from the most recent evaluation (sampler or
+	// /debug/slo hit); before the first evaluation they are absent.
+	slo.WritePrometheus(w, s.lastSLO.Load()) //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
 
 	telemetry.WriteTenantPrometheus(w, s.collectors) //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
 	telemetry.WriteRuntimePrometheus(w)              //lint:errdrop-ok scrape write; a failed scrape only hurts the departed scraper
 }
+
+// processStart anchors process_start_time_seconds and the uptime
+// gauge.
+var processStart = time.Now()
+
+// Version identifies the build in pastrid_build_info; override with
+// -ldflags "-X repro/internal/server.Version=v1.2.3".
+var Version = "dev"
 
 // promBuf accumulates exposition lines for the server families.
 type promBuf struct{ buf []byte }

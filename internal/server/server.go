@@ -38,14 +38,19 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockcache"
 	"repro/internal/core"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/profring"
+	"repro/internal/telemetry/slo"
 	"repro/internal/telemetry/trace"
+	"repro/internal/telemetry/tsdb"
 )
 
 // Server is the pastrid daemon: store + cache + per-tenant collectors
@@ -61,6 +66,14 @@ type Server struct {
 	tracer     *trace.Tracer
 	mux        *http.ServeMux
 	httpSrv    *http.Server
+
+	// pastriobs: SLO engine + metrics history + profile ring (obs.go).
+	sloEngine *slo.Engine
+	history   *tsdb.Ring
+	profiles  *profring.Ring
+	lastSLO   atomic.Pointer[slo.Report]
+	draining  atomic.Bool
+	sampler   samplerHandle
 }
 
 // New opens the store and builds the daemon. logger may be nil for
@@ -80,17 +93,37 @@ func New(cfg Config, logger *slog.Logger) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine := slo.New(cfg.sloEngineConfig())
+	thresholds := make(map[string]tenantThresholds, len(cfg.Tenants))
+	for t := range cfg.Tenants {
+		obj := engine.ObjectivesFor(t)
+		thresholds[t] = tenantThresholds{
+			readSec:   obj.ReadP99MS / 1000,
+			uploadSec: obj.UploadP99MS / 1000,
+		}
+	}
+	profiles, err := profring.Open(cfg.profileConfig())
+	if err != nil {
+		st.Close() //lint:errdrop-ok constructor is failing; store close is cleanup
+		return nil, err
+	}
 	s := &Server{
 		cfg:        cfg,
 		st:         st,
 		cache:      blockcache.New(cfg.CacheBytes, cfg.cacheCaps()),
 		log:        logger,
 		collectors: make(map[string]*telemetry.Collector, len(cfg.Tenants)),
-		metrics:    newServerMetrics(),
+		metrics:    newServerMetrics(thresholds),
 		tracer:     trace.New(cfg.traceConfig()),
+		sloEngine:  engine,
+		history:    tsdb.NewRing(cfg.SLO.HistoryDepth),
+		profiles:   profiles,
 	}
 	for _, t := range cfg.tenantNames() {
 		s.collectors[t] = telemetry.New(-1) // counters only; no trace ring per tenant
+	}
+	if iv := cfg.sampleInterval(); iv > 0 {
+		s.startSampler(iv)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/streams", s.v1(routeUpload, s.handleUpload))
@@ -100,10 +133,13 @@ func New(cfg Config, logger *slog.Logger) (*Server, error) {
 	s.mux.Handle("GET /v1/streams/{id}/blocks/{n}", s.v1(routeReadBlock, s.handleReadBlock))
 	s.mux.Handle("GET /metrics", s.instrument(routeMetrics, s.handleMetrics))
 	s.mux.Handle("GET /debug/traces", s.instrument(routeTraces, s.handleTraces))
+	s.mux.Handle("GET /debug/slo", s.instrument(routeSLO, s.handleSLO))
+	s.mux.Handle("GET /debug/history", s.instrument(routeHistory, s.handleHistory))
 	s.mux.Handle("GET /healthz", s.instrument(routeHealthz, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, `{"status":"ok"}`+"\n") //lint:errdrop-ok health probe write; the prober retries
 	}))
+	s.mux.Handle("GET /readyz", s.instrument(routeReadyz, s.handleReadyz))
 	// Built here, not in ServeListener, so Shutdown never races the
 	// serve goroutine's view of the field.
 	s.httpSrv = &http.Server{
@@ -146,6 +182,8 @@ func (s *Server) ServeListener(ln net.Listener) error {
 // compression — then the store's handles are closed. The context bounds
 // the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true) // /readyz flips not-ready so balancers stop routing here
+	s.stopSampler()
 	var firstErr error
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
 		firstErr = err
@@ -158,7 +196,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Close releases resources without draining (tests).
-func (s *Server) Close() error { return s.st.Close() }
+func (s *Server) Close() error {
+	s.stopSampler()
+	return s.st.Close()
+}
 
 // CacheStats exposes the block cache counters (loadtest reporting).
 func (s *Server) CacheStats() blockcache.Stats { return s.cache.Stats() }
@@ -171,6 +212,10 @@ func (s *Server) TraceStats() trace.Stats { return s.tracer.Stats() }
 // JSON — the same body GET /debug/traces serves (daemon shutdown dump
 // and tests).
 func (s *Server) WriteTraces(w io.Writer) error { return trace.WriteChrome(w, s.tracer.Ring()) }
+
+// ProfileEntries lists the profile ring's attribution sidecars, oldest
+// first (nil when profiling is disabled) — bench ops dumps and tests.
+func (s *Server) ProfileEntries() []profring.Entry { return s.profiles.Entries() }
 
 // apiError is the wire error shape.
 type apiError struct {
@@ -278,12 +323,13 @@ func anomalyTotal(col *telemetry.Collector) uint64 {
 	return n
 }
 
-// instrument wraps a handler with request logging, metrics and the
-// request's root trace span. Scrape/probe/export routes (metrics,
-// healthz, debug_traces) are never traced — a scraper polling
-// /debug/traces must not push real traces out of the ring.
+// instrument wraps a handler with request logging, metrics, the
+// request's root trace span, and pprof goroutine labels. Quiet routes
+// (scrapes, probes, debug exports) are never traced or labeled — a
+// scraper polling /debug/traces must not push real traces out of the
+// ring, and probe CPU must not pollute tenant attribution.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
-	traced := route != routeMetrics && route != routeHealthz && route != routeTraces
+	traced := !quietRoute(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -303,7 +349,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 		}
 		s.metrics.inflight.Add(1)
-		h(sw, r)
+		if traced {
+			// Goroutine labels are what the CPU profiler samples: every
+			// profile in the ring can be cut by tenant and route, and
+			// stage labels added deeper (compress workers, decode fills)
+			// inherit these.
+			labels := pprof.Labels("route", route, "tenant", tenant)
+			pprof.Do(r.Context(), labels, func(ctx context.Context) {
+				h(sw, r.WithContext(ctx))
+			})
+		} else {
+			h(sw, r)
+		}
 		s.metrics.inflight.Add(-1)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -323,8 +380,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			retained, _ = s.tracer.FinishRequest(root)
 		}
-		s.metrics.observe(route, sw.status, elapsed, traceID, retained)
-		if route == routeMetrics || route == routeHealthz || route == routeTraces {
+		s.metrics.observe(route, tenant, sw.status, elapsed, traceID, retained)
+		if quietRoute(route) {
 			return // scrapes and probes would drown the request log
 		}
 		s.log.Info("request",
@@ -352,6 +409,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, tenant str
 	}
 	cfg := core.Defaults(s.cfg.NumSB, s.cfg.SBSize, s.cfg.errorBound(tenant))
 	cfg.Collector = s.collectors[tenant]
+	// The request context carries the tenant/route pprof labels set by
+	// instrument; handing it to the pipeline lets the compress workers
+	// add their stage label on top, so CPU profiles attribute encode
+	// time to the uploading tenant.
+	cfg.ProfileCtx = r.Context()
 
 	sw, err := s.st.Create(tenant, id)
 	if err != nil {
@@ -456,15 +518,29 @@ func (s *Server) handleReadBlock(w http.ResponseWriter, r *http.Request, tenant 
 	lsp := spanFrom(r).StartChild("cache.lookup")
 	data, err := s.cache.GetOrFillTraced(blockcache.Key{Tenant: tenant, Stream: id, Block: n}, lsp,
 		func(fsp *trace.Span) ([]float64, error) {
-			seg, err := s.st.Get(tenant, id)
-			if err != nil {
-				return nil, err
+			var dst []float64
+			var fillErr error
+			// Label the decode fill so CPU profiles split read-path time
+			// into stage=decode under the request's tenant/route labels,
+			// and time it on the tenant's decode stage so the history
+			// ring's stage_ns series attribute read-path burn.
+			pprof.Do(r.Context(), pprof.Labels("stage", "decode"), func(context.Context) {
+				tDec := col.StageStart()
+				defer col.StageEnd(telemetry.StageDecode, tDec)
+				var seg *store.Segment
+				seg, fillErr = s.st.Get(tenant, id)
+				if fillErr != nil {
+					return
+				}
+				dst = make([]float64, seg.BlockSize())
+				if fillErr = seg.ReadBlockTraced(n, dst, fsp); fillErr != nil {
+					return
+				}
+				col.RecordDecodedBlock(seg.CompressedBlockBytes(n), len(dst)*8)
+			})
+			if fillErr != nil {
+				return nil, fillErr
 			}
-			dst := make([]float64, seg.BlockSize())
-			if err := seg.ReadBlockTraced(n, dst, fsp); err != nil {
-				return nil, err
-			}
-			col.RecordDecodedBlock(seg.CompressedBlockBytes(n), len(dst)*8)
 			return dst, nil
 		})
 	lsp.End()

@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,9 @@ import (
 // status, a new metric label — fails the diff.
 
 var updateWire = flag.Bool("update", false, "rewrite wire-protocol golden files")
+
+// goVersionLabelRE masks the toolchain version out of pastrid_build_info.
+var goVersionLabelRE = regexp.MustCompile(`go_version="[^"]*"`)
 
 const (
 	wireGoldenPath    = "testdata/wire.golden"
@@ -126,6 +130,7 @@ func TestWireGolden(t *testing.T) {
 	}
 
 	do("GET", "/healthz", "", nil)
+	do("GET", "/readyz", "", nil)
 	do("POST", "/v1/streams?id=s1", "", wireBody(1))
 	do("POST", "/v1/streams?id=s1", "ghost", wireBody(1))
 	do("POST", "/v1/streams", "alice", wireBody(1))
@@ -188,7 +193,10 @@ func TestWireGolden(t *testing.T) {
 		if cut < 0 {
 			t.Fatalf("unparseable scrape line %q", line)
 		}
-		series.WriteString(line[:cut] + "\n")
+		// build_info's go_version label value tracks the toolchain; the
+		// label KEY is contract, the value is not.
+		id := goVersionLabelRE.ReplaceAllString(line[:cut], `go_version="$$GO_VERSION"`)
+		series.WriteString(id + "\n")
 	}
 	compareGolden(t, metricsGoldenPath, series.String())
 

@@ -265,6 +265,21 @@ func (s *Store) Usage(tenant string) int64 {
 	return s.used[tenant]
 }
 
+// Quota returns a tenant's configured byte quota (0 = unlimited) —
+// readiness probes compare it against Usage for headroom checks.
+func (s *Store) Quota(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota(tenant)
+}
+
+// Closed reports whether Close has been called.
+func (s *Store) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Create starts writing a new stream for tenant under id. The returned
 // SegmentWriter is an io.Writer for the compressed stream bytes; the
 // stream becomes visible only after Commit. A tenant already at or

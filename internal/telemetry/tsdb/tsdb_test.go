@@ -1,0 +1,170 @@
+package tsdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleAt(sec int64, kv map[Key]float64) Sample {
+	s := NewSample(time.Unix(sec, 0))
+	for k, v := range kv {
+		s.Set(k, v)
+	}
+	return s
+}
+
+func TestRingAddEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Add(sampleAt(i, map[Key]float64{KeyRequestsTotal: float64(i)}))
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	want := []int64{3, 4, 5}
+	for i, s := range snap {
+		if s.UnixNano != want[i]*1e9 {
+			t.Fatalf("snapshot[%d].UnixNano = %d, want %d", i, s.UnixNano, want[i]*1e9)
+		}
+	}
+	latest, ok := r.Latest()
+	if !ok || latest.Get(KeyRequestsTotal) != 5 {
+		t.Fatalf("Latest = %+v ok=%v, want requests_total=5", latest, ok)
+	}
+}
+
+func TestRingBefore(t *testing.T) {
+	r := NewRing(8)
+	for i := int64(10); i <= 50; i += 10 {
+		r.Add(sampleAt(i, map[Key]float64{KeyRequestsTotal: float64(i)}))
+	}
+	cases := []struct {
+		cutoffSec int64
+		wantSec   int64
+	}{
+		{35, 30},  // newest at-or-before cutoff
+		{50, 50},  // exact hit
+		{5, 10},   // older than history: degrade to oldest
+		{999, 50}, // future cutoff: newest
+	}
+	for _, c := range cases {
+		got, ok := r.Before(c.cutoffSec * 1e9)
+		if !ok {
+			t.Fatalf("Before(%d) not ok", c.cutoffSec)
+		}
+		if got.UnixNano != c.wantSec*1e9 {
+			t.Errorf("Before(%ds) = %ds, want %ds", c.cutoffSec, got.UnixNano/1e9, c.wantSec)
+		}
+	}
+}
+
+func TestNilRingSafe(t *testing.T) {
+	var r *Ring
+	r.Add(sampleAt(1, nil))
+	if r.Len() != 0 {
+		t.Fatal("nil ring Len != 0")
+	}
+	if _, ok := r.Latest(); ok {
+		t.Fatal("nil ring Latest ok")
+	}
+	if _, ok := r.Before(0); ok {
+		t.Fatal("nil ring Before ok")
+	}
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatal("nil ring Snapshot non-empty")
+	}
+	h := r.History()
+	if h.Depth != 0 || len(h.Samples) != 0 {
+		t.Fatalf("nil ring History = %+v", h)
+	}
+}
+
+func TestDeltaAndRate(t *testing.T) {
+	old := sampleAt(10, map[Key]float64{KeyRequestsTotal: 100, KeyErrorsTotal: 7})
+	now := sampleAt(20, map[Key]float64{KeyRequestsTotal: 300, KeyErrorsTotal: 5})
+	if d := Delta(now, old, KeyRequestsTotal); d != 200 {
+		t.Fatalf("Delta = %v, want 200", d)
+	}
+	// Counter went backwards (restart): clamp to zero.
+	if d := Delta(now, old, KeyErrorsTotal); d != 0 {
+		t.Fatalf("restart Delta = %v, want 0", d)
+	}
+	// Missing key reads as zero baseline.
+	if d := Delta(now, Sample{}, KeyRequestsTotal); d != 300 {
+		t.Fatalf("zero-baseline Delta = %v, want 300", d)
+	}
+	if rt := Rate(now, old, KeyRequestsTotal); rt != 20 {
+		t.Fatalf("Rate = %v, want 20", rt)
+	}
+	if rt := Rate(old, old, KeyRequestsTotal); rt != 0 {
+		t.Fatalf("zero-interval Rate = %v, want 0", rt)
+	}
+}
+
+func TestTenantKeys(t *testing.T) {
+	k := ForTenant("alice", KeyReadsTotal)
+	if k != Key("tenant.alice.reads_total") {
+		t.Fatalf("ForTenant = %q", k)
+	}
+	tenant, base, ok := SplitTenant(k)
+	if !ok || tenant != "alice" || base != KeyReadsTotal {
+		t.Fatalf("SplitTenant = %q %q %v", tenant, base, ok)
+	}
+	if _, _, ok := SplitTenant(KeyCacheBytes); ok {
+		t.Fatal("SplitTenant accepted a process-wide key")
+	}
+	sk := ForTenant("alice", StageNS("encode"))
+	wantTenant, wantBase, _ := SplitTenant(sk)
+	if wantTenant != "alice" || wantBase != Key("stage_ns.encode") {
+		t.Fatalf("stage key split = %q %q", wantTenant, wantBase)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	r := NewRing(4)
+	r.Add(sampleAt(1, map[Key]float64{KeyCacheHitsTotal: 3}))
+	r.Add(sampleAt(2, map[Key]float64{KeyCacheHitsTotal: 9}))
+	h := r.History()
+	if h.Depth != 4 || len(h.Samples) != 2 {
+		t.Fatalf("History = depth %d samples %d", h.Depth, len(h.Samples))
+	}
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth != 4 || len(got.Samples) != 2 || got.Samples[1].Get(KeyCacheHitsTotal) != 9 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestParseHistoryRejectsDisorder(t *testing.T) {
+	in := `{"depth":2,"samples":[{"unix_nano":20,"values":{}},{"unix_nano":10,"values":{}}]}`
+	if _, err := ParseHistory(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-order history accepted")
+	}
+}
+
+func TestRingConcurrentReadersRace(t *testing.T) {
+	r := NewRing(16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 200; i++ {
+			r.Add(sampleAt(i, map[Key]float64{KeyInflightRequests: float64(i)}))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.Snapshot()
+		r.Before(int64(i) * 1e9)
+		r.Latest()
+		r.History()
+	}
+	<-done
+}
